@@ -1,0 +1,132 @@
+package distws
+
+// One benchmark per table and figure of the paper, plus the ablations.
+// Each bench regenerates its experiment's data at Quick scale and fails
+// if a shape check regresses, so `go test -bench=.` doubles as a
+// reproduction smoke of every figure. The Default/Full-scale data in
+// EXPERIMENTS.md comes from cmd/experiments.
+
+import (
+	"testing"
+
+	"distws/internal/core"
+	"distws/internal/harness"
+	"distws/internal/rt"
+	"distws/internal/uts"
+	"distws/internal/victim"
+)
+
+// benchExperiment runs a registered experiment b.N times at Quick scale.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(harness.Quick, 12345)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range rep.Checks {
+			if !c.Pass {
+				b.Fatalf("%s shape check failed: %s (%s)", id, c.Desc, c.Detail)
+			}
+		}
+	}
+}
+
+func BenchmarkTableITreeGen(b *testing.B)            { benchExperiment(b, "table1") }
+func BenchmarkFig02ReferenceEfficiency(b *testing.B) { benchExperiment(b, "fig02") }
+func BenchmarkFig03ReferenceSpeedup(b *testing.B)    { benchExperiment(b, "fig03") }
+func BenchmarkFig04LatencySmall(b *testing.B)        { benchExperiment(b, "fig04") }
+func BenchmarkFig05LatencyLarge(b *testing.B)        { benchExperiment(b, "fig05") }
+func BenchmarkFig06RandomSpeedup(b *testing.B)       { benchExperiment(b, "fig06") }
+func BenchmarkFig07FailedSteals(b *testing.B)        { benchExperiment(b, "fig07") }
+func BenchmarkFig08SkewedPDF(b *testing.B)           { benchExperiment(b, "fig08") }
+func BenchmarkFig09TofuSpeedup(b *testing.B)         { benchExperiment(b, "fig09") }
+func BenchmarkFig10Discovery(b *testing.B)           { benchExperiment(b, "fig10") }
+func BenchmarkFig11HalfSpeedup(b *testing.B)         { benchExperiment(b, "fig11") }
+func BenchmarkFig12StartLatency(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkFig13EndLatency(b *testing.B)          { benchExperiment(b, "fig13") }
+func BenchmarkFig14SearchTime(b *testing.B)          { benchExperiment(b, "fig14") }
+func BenchmarkFig15FailedStealsHalf(b *testing.B)    { benchExperiment(b, "fig15") }
+func BenchmarkFig16Granularity(b *testing.B)         { benchExperiment(b, "fig16") }
+
+func BenchmarkAblationChunkSize(b *testing.B)    { benchExperiment(b, "ablation-chunk") }
+func BenchmarkAblationPollInterval(b *testing.B) { benchExperiment(b, "ablation-poll") }
+func BenchmarkAblationSelectors(b *testing.B)    { benchExperiment(b, "ablation-selectors") }
+func BenchmarkAblationTermination(b *testing.B)  { benchExperiment(b, "ablation-term") }
+func BenchmarkAblationSkewExponent(b *testing.B) { benchExperiment(b, "ablation-skew") }
+func BenchmarkAblationBackoff(b *testing.B)      { benchExperiment(b, "ablation-backoff") }
+func BenchmarkAblationProtocol(b *testing.B)     { benchExperiment(b, "ablation-protocol") }
+func BenchmarkAblationAborts(b *testing.B)       { benchExperiment(b, "ablation-aborts") }
+func BenchmarkAblationJitter(b *testing.B)       { benchExperiment(b, "ablation-jitter") }
+func BenchmarkExtensionDAG(b *testing.B)         { benchExperiment(b, "ext-dag") }
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: virtual
+// events and tree nodes processed per wall second for one mid-size
+// configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := core.Config{
+		Tree:      uts.MustPreset("H-TINY").Params,
+		Ranks:     64,
+		Selector:  victim.NewDistanceSkewed,
+		Steal:     core.StealHalf,
+		ChunkSize: 4,
+		Seed:      1,
+	}
+	b.ReportAllocs()
+	var nodes uint64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes += res.Nodes
+	}
+	b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/s")
+}
+
+// BenchmarkQueueDesigns compares the two shared-memory queue designs —
+// the UTS chunked stack (mutex) and the Chase–Lev lock-free deque the
+// paper's §VI cites — on the same workload.
+func BenchmarkQueueDesigns(b *testing.B) {
+	tree := uts.MustPreset("H-TINY").Params
+	for _, q := range []rt.Queue{rt.Chunked, rt.ChaseLev} {
+		b.Run(q.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var nodes uint64
+			for i := 0; i < b.N; i++ {
+				res, err := rt.Run(rt.Config{Tree: tree, Queue: q, Selector: rt.Random, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes += res.Nodes
+			}
+			b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/s")
+		})
+	}
+}
+
+// BenchmarkSharedMemoryRuntime measures the real goroutine runtime's
+// wall-clock traversal rate on this machine.
+func BenchmarkSharedMemoryRuntime(b *testing.B) {
+	cfg := rt.Config{
+		Tree:      uts.MustPreset("H-SMALL").Params,
+		Selector:  rt.RingSkewed,
+		StealHalf: true,
+		Seed:      1,
+	}
+	b.ReportAllocs()
+	var nodes uint64
+	for i := 0; i < b.N; i++ {
+		res, err := rt.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes += res.Nodes
+	}
+	b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/s")
+}

@@ -1,0 +1,130 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig09 -scale default
+//	experiments -run all -scale quick -o results.txt
+//
+// Each experiment prints the rows/series the paper reports, an ASCII
+// rendering of the figure, and machine-checked "shape checks" asserting
+// the paper's qualitative findings. Exit status is nonzero if any shape
+// check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"distws/internal/harness"
+)
+
+func main() {
+	var (
+		runFlag   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scaleFlag = flag.String("scale", "default", "experiment scale: quick|default|full")
+		seedFlag  = flag.Uint64("seed", 12345, "base random seed")
+		outFlag   = flag.String("o", "", "also write the reports to this file")
+		jsonFlag  = flag.String("json", "", "write machine-readable reports (JSON lines) to this file")
+		csvFlag   = flag.String("csv", "", "write the result tables (CSV) to this file")
+		listFlag  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, id := range harness.IDs() {
+			e, _ := harness.Lookup(id)
+			fmt.Printf("%-20s %s\n", id, e.Title)
+		}
+		return
+	}
+
+	scale, err := harness.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var ids []string
+	if *runFlag == "all" {
+		ids = harness.IDs()
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := harness.Lookup(id); !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; -list shows the registry\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	var out io.Writer = os.Stdout
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	openOpt := func(path string) *os.File {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return f
+	}
+	jsonOut := openOpt(*jsonFlag)
+	csvOut := openOpt(*csvFlag)
+
+	allPass := true
+	start := time.Now()
+	for _, id := range ids {
+		e, _ := harness.Lookup(id)
+		t0 := time.Now()
+		rep, err := e.Run(scale, *seedFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out, rep.Render())
+		fmt.Fprintf(out, "(%s in %v at scale %v)\n\n", id, time.Since(t0).Round(time.Millisecond), scale)
+		if jsonOut != nil {
+			if err := rep.WriteJSON(jsonOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if csvOut != nil {
+			if err := rep.WriteCSV(csvOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(csvOut)
+		}
+		if !rep.Passed() {
+			allPass = false
+		}
+	}
+	if jsonOut != nil {
+		jsonOut.Close()
+	}
+	if csvOut != nil {
+		csvOut.Close()
+	}
+	fmt.Fprintf(out, "total: %d experiment(s) in %v\n", len(ids), time.Since(start).Round(time.Second))
+	if !allPass {
+		fmt.Fprintln(os.Stderr, "some shape checks FAILED")
+		os.Exit(1)
+	}
+}

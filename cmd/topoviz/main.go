@@ -1,0 +1,155 @@
+// Command topoviz inspects the simulated machine: it shows how a job's
+// nodes are allocated on the Tofu-like torus, the distribution of
+// inter-rank distances and latencies under each placement, and the
+// victim-selection probability profile a given thief would use.
+//
+// Usage:
+//
+//	topoviz -ranks 1024
+//	topoviz -ranks 512 -placement 8RR -thief 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"distws/internal/sim"
+	"distws/internal/stats"
+	"distws/internal/topology"
+	"distws/internal/victim"
+)
+
+func main() {
+	var (
+		ranksFlag = flag.Int("ranks", 256, "number of ranks")
+		placeFlag = flag.String("placement", "1/N", "placement: 1/N, 8RR or 8G")
+		thiefFlag = flag.Int("thief", 0, "rank whose victim-selection profile to print")
+		seedFlag  = flag.Uint64("seed", 1, "selector seed")
+	)
+	flag.Parse()
+
+	var placement topology.Placement
+	switch strings.ToUpper(*placeFlag) {
+	case "1/N":
+		placement = topology.OnePerNode
+	case "8RR":
+		placement = topology.EightRoundRobin
+	case "8G":
+		placement = topology.EightGrouped
+	default:
+		fmt.Fprintf(os.Stderr, "unknown placement %q\n", *placeFlag)
+		os.Exit(2)
+	}
+
+	m := topology.KComputer()
+	job, err := topology.NewJob(m, *ranksFlag, placement)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	alloc := job.Alloc
+
+	fmt.Printf("machine: %dx%dx%d cubes (%d nodes, %d racks)\n",
+		m.CubesX, m.CubesY, m.CubesZ, m.Nodes(), m.CubesX*m.CubesY)
+	fmt.Printf("allocation: %d nodes in a %dx%dx%d cube box\n",
+		alloc.Nodes(), alloc.DX, alloc.DY, alloc.DZ)
+	racks := map[[2]int]bool{}
+	for _, c := range alloc.NodeList {
+		racks[[2]int{c.X, c.Y}] = true
+	}
+	fmt.Printf("job: %d ranks, %v placement, spanning %d rack(s), max %d hops\n\n",
+		job.Ranks(), placement, len(racks), job.MaxHops())
+
+	// Distance and latency distribution from the thief's viewpoint.
+	model := topology.DefaultLatency()
+	var dists, lats []float64
+	for k := 0; k < job.Ranks(); k++ {
+		if k == *thiefFlag {
+			continue
+		}
+		dists = append(dists, job.Distance(*thiefFlag, k))
+		lats = append(lats, model.Latency(job, *thiefFlag, k, 0).Seconds()*1e6)
+	}
+	fmt.Printf("from rank %d (node %v, core %d):\n", *thiefFlag, job.Coord(*thiefFlag), job.Core(*thiefFlag))
+	fmt.Printf("  euclidean distance: min %.2f  p50 %.2f  max %.2f\n",
+		stats.Min(dists), stats.Quantile(dists, 0.5), stats.Max(dists))
+	fmt.Printf("  one-way latency:    min %.1fµs p50 %.1fµs max %.1fµs\n\n",
+		stats.Min(lats), stats.Quantile(lats, 0.5), stats.Max(lats))
+
+	printHistogram("distance histogram", dists, 12)
+	fmt.Println()
+
+	// Victim-selection probability mass by distance band, for the
+	// uniform and the distance-skewed strategies.
+	sel := victim.NewDistanceSkewed(job, *seedFlag)
+	pdfer, ok := sel.(interface{ PDF(int) []float64 })
+	if !ok {
+		fmt.Fprintln(os.Stderr, "selector does not expose PDF")
+		os.Exit(1)
+	}
+	pdf := pdfer.PDF(*thiefFlag)
+	const bands = 6
+	maxD := stats.Max(dists)
+	bandP := make([]float64, bands)
+	bandU := make([]float64, bands)
+	uni := 1 / float64(job.Ranks()-1)
+	for k := 0; k < job.Ranks(); k++ {
+		if k == *thiefFlag {
+			continue
+		}
+		b := 0
+		if maxD > 0 {
+			b = int(job.Distance(*thiefFlag, k) / (maxD + 1e-9) * bands)
+		}
+		bandP[b] += pdf[k]
+		bandU[b] += uni
+	}
+	fmt.Printf("victim-selection mass by distance band (thief %d):\n", *thiefFlag)
+	fmt.Printf("  %-16s %-10s %-10s %s\n", "band", "uniform", "skewed", "skew gain")
+	for b := 0; b < bands; b++ {
+		lo := maxD * float64(b) / bands
+		hi := maxD * float64(b+1) / bands
+		gain := math.NaN()
+		if bandU[b] > 0 {
+			gain = bandP[b] / bandU[b]
+		}
+		fmt.Printf("  [%5.1f, %5.1f)   %-10.4f %-10.4f %.2fx\n", lo, hi, bandU[b], bandP[b], gain)
+	}
+
+	// Latency model summary for orientation.
+	fmt.Printf("\nlatency model levels (0-byte message):\n")
+	fmt.Printf("  software overhead  %v\n", model.Software)
+	fmt.Printf("  same node          +%v\n", model.SameNode)
+	fmt.Printf("  same blade         +%v\n", model.SameBlade)
+	fmt.Printf("  same cube          +%v\n", model.SameCube)
+	fmt.Printf("  per torus hop      +%v\n", model.PerHop)
+	_ = sim.Microsecond
+}
+
+// printHistogram renders a simple horizontal-bar histogram.
+func printHistogram(title string, xs []float64, bins int) {
+	lo, hi := stats.Min(xs), stats.Max(xs)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	counts := stats.Histogram(xs, bins, lo, hi)
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	fmt.Println(title + ":")
+	for i, c := range counts {
+		bLo := lo + (hi-lo)*float64(i)/float64(bins)
+		bHi := lo + (hi-lo)*float64(i+1)/float64(bins)
+		bar := ""
+		if maxC > 0 {
+			bar = strings.Repeat("█", c*40/maxC)
+		}
+		fmt.Printf("  [%6.2f, %6.2f) %5d %s\n", bLo, bHi, c, bar)
+	}
+}

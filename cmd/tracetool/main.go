@@ -1,0 +1,79 @@
+// Command tracetool analyzes activity traces produced by cmd/uts (or
+// the library's trace.WriteJSONL): it prints the occupancy summary, the
+// paper's starting/ending latencies, work-discovery session statistics,
+// and a lifestory chart.
+//
+// Usage:
+//
+//	uts -tree H-SMALL -ranks 128 -trace t.jsonl
+//	tracetool -in t.jsonl
+//	tracetool -in t.jsonl -lifestory -rows 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distws/internal/metrics"
+	"distws/internal/sim"
+	"distws/internal/trace"
+)
+
+func main() {
+	var (
+		inFlag    = flag.String("in", "", "trace file (JSONL) to analyze (required)")
+		lifeFlag  = flag.Bool("lifestory", false, "print per-rank activity bars")
+		rowsFlag  = flag.Int("rows", 24, "max lifestory rows")
+		widthFlag = flag.Int("width", 72, "lifestory / curve width")
+		stepsFlag = flag.Int("steps", 10, "number of occupancy points for the SL/EL table")
+	)
+	flag.Parse()
+
+	if *inFlag == "" {
+		fmt.Fprintln(os.Stderr, "tracetool: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*inFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tr, err := trace.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := tr.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracetool: trace fails validation: %v\n", err)
+		os.Exit(1)
+	}
+
+	curve := metrics.Occupancy(tr)
+	fmt.Printf("trace: %d ranks, makespan %v, %d sessions\n",
+		tr.Ranks(), sim.Duration(tr.End), tr.TotalSessions())
+	fmt.Printf("occupancy: max %.1f%% (Wmax %d), mean %.1f%%\n",
+		curve.MaxOccupancy()*100, curve.Wmax(), curve.MeanOccupancy()*100)
+
+	st := metrics.Sessions(tr)
+	if st.Count > 0 {
+		fmt.Printf("work-discovery sessions: %d, mean %.3gs, p50 %.3gs, p99 %.3gs, %d failed attempts\n",
+			st.Count, st.Mean, st.P50, st.P99, st.Failed)
+	}
+
+	fmt.Printf("\noccupancy   SL (%% runtime)   EL (%% runtime)\n")
+	for _, p := range curve.LatencyCurve(metrics.OccupancySamples(*stepsFlag, curve.MaxOccupancy())) {
+		if !p.Reached {
+			fmt.Printf("   %3.0f%%        (never reached)\n", p.Occupancy*100)
+			continue
+		}
+		fmt.Printf("   %3.0f%%        %6.2f           %6.2f\n", p.Occupancy*100, p.SL*100, p.EL*100)
+	}
+
+	if *lifeFlag {
+		fmt.Println()
+		fmt.Print(metrics.Lifestory(tr, *widthFlag, *rowsFlag))
+	}
+}

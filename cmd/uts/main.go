@@ -1,0 +1,152 @@
+// Command uts runs one simulated distributed UTS execution and prints a
+// report in the style of the reference benchmark.
+//
+// Usage:
+//
+//	uts -tree H-SMALL -ranks 128 -placement 1/N -selector Tofu -steal half
+//	uts -tree T3 -ranks 8 -trace trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"distws/internal/core"
+	"distws/internal/metrics"
+	"distws/internal/sim"
+	"distws/internal/term"
+	"distws/internal/topology"
+	"distws/internal/uts"
+	"distws/internal/victim"
+)
+
+func main() {
+	var (
+		treeFlag     = flag.String("tree", "H-SMALL", "tree preset (see -listtrees)")
+		ranksFlag    = flag.Int("ranks", 64, "number of simulated MPI ranks")
+		placeFlag    = flag.String("placement", "1/N", "rank placement: 1/N, 8RR or 8G")
+		selFlag      = flag.String("selector", "RoundRobin", "victim selector (see -listselectors)")
+		stealFlag    = flag.String("steal", "one", "steal amount: one|half")
+		chunkFlag    = flag.Int("chunk", 4, "nodes per chunk (UTS default is 20; scaled experiments use 4)")
+		nodeCostFlag = flag.Duration("nodecost", 0, "virtual time per child generation (default 1µs)")
+		seedFlag     = flag.Uint64("seed", 1, "random seed")
+		detFlag      = flag.String("termination", "Safra", "termination detector: Safra|Ring")
+		traceFlag    = flag.String("trace", "", "write the activity trace (JSONL) to this file")
+		listTrees    = flag.Bool("listtrees", false, "list tree presets and exit")
+		listSel      = flag.Bool("listselectors", false, "list victim selectors and exit")
+	)
+	flag.Parse()
+
+	if *listTrees {
+		for _, n := range uts.PresetNames() {
+			info := uts.MustPreset(n)
+			fmt.Printf("%-10s %-9v %s\n", n, info.Params.Type, info.Comment)
+		}
+		return
+	}
+	if *listSel {
+		for _, n := range victim.StrategyNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	info, ok := uts.Preset(*treeFlag)
+	if !ok {
+		fatalf("unknown tree preset %q (-listtrees)", *treeFlag)
+	}
+	var placement topology.Placement
+	switch strings.ToUpper(*placeFlag) {
+	case "1/N":
+		placement = topology.OnePerNode
+	case "8RR":
+		placement = topology.EightRoundRobin
+	case "8G":
+		placement = topology.EightGrouped
+	default:
+		fatalf("unknown placement %q (1/N, 8RR, 8G)", *placeFlag)
+	}
+	selector, ok := victim.Strategies[*selFlag]
+	if !ok {
+		fatalf("unknown selector %q (-listselectors)", *selFlag)
+	}
+	var steal core.StealPolicy
+	switch strings.ToLower(*stealFlag) {
+	case "one":
+		steal = core.StealOne
+	case "half":
+		steal = core.StealHalf
+	default:
+		fatalf("unknown steal policy %q (one|half)", *stealFlag)
+	}
+	detector, ok := term.Detectors[*detFlag]
+	if !ok {
+		fatalf("unknown termination detector %q (Safra|Ring)", *detFlag)
+	}
+
+	cfg := core.Config{
+		Tree:         info.Params,
+		Ranks:        *ranksFlag,
+		Placement:    placement,
+		Selector:     selector,
+		Steal:        steal,
+		ChunkSize:    *chunkFlag,
+		NodeCost:     sim.Duration(*nodeCostFlag),
+		Detector:     detector,
+		Seed:         *seedFlag,
+		CollectTrace: *traceFlag != "",
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("UTS distributed work-stealing simulation\n")
+	fmt.Printf("  tree:            %s (%v)\n", info.Name, info.Params.Type)
+	fmt.Printf("  ranks:           %d (%v placement)\n", res.Ranks, res.Placement)
+	fmt.Printf("  selector:        %s, steal %v, chunk %d\n", res.Selector, res.Steal, *chunkFlag)
+	fmt.Printf("  termination:     %s (%d rounds)\n", res.Detector, res.TerminationRounds)
+	fmt.Printf("\n")
+	fmt.Printf("  tree nodes:      %d (%d leaves, depth %d)\n", res.Nodes, res.Leaves, res.MaxDepth)
+	fmt.Printf("  wallclock:       %v (virtual)\n", res.Makespan)
+	fmt.Printf("  sequential time: %v (virtual)\n", res.SequentialTime)
+	fmt.Printf("  speedup:         %.2f\n", res.Speedup)
+	fmt.Printf("  efficiency:      %.3f\n", res.Efficiency)
+	fmt.Printf("\n")
+	fmt.Printf("  steal requests:  %d (%d ok, %d failed)\n", res.StealRequests, res.SuccessfulSteals, res.FailedSteals)
+	fmt.Printf("  chunks moved:    %d\n", res.ChunksTransferred)
+	fmt.Printf("  mean search:     %v per rank\n", res.MeanSearchTime)
+	if res.MeanSessionDuration > 0 {
+		fmt.Printf("  mean session:    %v\n", res.MeanSessionDuration)
+	}
+	fmt.Printf("  messages sent:   %d\n", res.Comm.TotalSent())
+	if res.Premature {
+		fmt.Printf("  WARNING: premature termination detected (incomplete traversal)\n")
+	}
+
+	if res.Trace != nil {
+		c := metrics.Occupancy(res.Trace)
+		fmt.Printf("  max occupancy:   %.1f%% (Wmax %d)\n", c.MaxOccupancy()*100, c.Wmax())
+		fmt.Printf("  mean occupancy:  %.1f%%\n", c.MeanOccupancy()*100)
+		if *traceFlag != "" {
+			f, err := os.Create(*traceFlag)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := res.Trace.WriteJSONL(f); err != nil {
+				fatalf("writing trace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("closing trace: %v", err)
+			}
+			fmt.Printf("  trace written:   %s\n", *traceFlag)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command utsseq enumerates a UTS tree sequentially. It is the ground
+// truth the distributed traversals are verified against, and the tool
+// that measured the preset sizes recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	utsseq -tree H-SWEEP
+//	utsseq -type binomial -r 316 -b 2000 -m 2 -q 0.49 -limit 1e7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"distws/internal/uts"
+)
+
+func main() {
+	var (
+		treeFlag  = flag.String("tree", "", "tree preset name (overrides the parameter flags)")
+		typeFlag  = flag.String("type", "binomial", "tree type: binomial|geometric|hybrid")
+		rFlag     = flag.Int("r", 316, "root seed")
+		bFlag     = flag.Float64("b", 2000, "root branching factor b0")
+		mFlag     = flag.Int("m", 2, "binomial non-leaf children")
+		qFlag     = flag.Float64("q", 0.49, "binomial non-leaf probability")
+		dFlag     = flag.Int("d", 10, "geometric depth limit")
+		cutFlag   = flag.Int("cutoff", 0, "hybrid cutoff depth")
+		shapeFlag = flag.String("shape", "linear", "geometric shape: linear|expdec|cyclic|fixed")
+		granFlag  = flag.Int("g", 1, "hash evaluations per child (granularity)")
+		limitFlag = flag.Uint64("limit", 500_000_000, "abort after this many nodes")
+		allFlag   = flag.Bool("all", false, "enumerate every preset (subject to -limit)")
+	)
+	flag.Parse()
+
+	if *allFlag {
+		for _, name := range uts.PresetNames() {
+			info := uts.MustPreset(name)
+			if info.PaperSize > 0 {
+				fmt.Printf("%-10s paper-scale tree (%d nodes per Table I), skipping\n", name, info.PaperSize)
+				continue
+			}
+			enumerate(name, info.Params, *limitFlag)
+		}
+		return
+	}
+
+	var params uts.Params
+	name := "custom"
+	if *treeFlag != "" {
+		info, ok := uts.Preset(*treeFlag)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown preset %q; known: %v\n", *treeFlag, uts.PresetNames())
+			os.Exit(2)
+		}
+		params = info.Params
+		name = info.Name
+	} else {
+		switch strings.ToLower(*typeFlag) {
+		case "binomial":
+			params.Type = uts.Binomial
+		case "geometric":
+			params.Type = uts.Geometric
+		case "hybrid":
+			params.Type = uts.Hybrid
+		default:
+			fmt.Fprintf(os.Stderr, "unknown tree type %q\n", *typeFlag)
+			os.Exit(2)
+		}
+		switch strings.ToLower(*shapeFlag) {
+		case "linear":
+			params.Shape = uts.ShapeLinear
+		case "expdec":
+			params.Shape = uts.ShapeExpDec
+		case "cyclic":
+			params.Shape = uts.ShapeCyclic
+		case "fixed":
+			params.Shape = uts.ShapeFixed
+		default:
+			fmt.Fprintf(os.Stderr, "unknown shape %q\n", *shapeFlag)
+			os.Exit(2)
+		}
+		params.RootSeed = int32(*rFlag)
+		params.B0 = *bFlag
+		params.NonLeafBF = *mFlag
+		params.NonLeafProb = *qFlag
+		params.GenMax = int32(*dFlag)
+		params.CutoffDepth = int32(*cutFlag)
+		params.Granularity = *granFlag
+	}
+	enumerate(name, params, *limitFlag)
+}
+
+func enumerate(name string, params uts.Params, limit uint64) {
+	start := time.Now()
+	res, ok, err := uts.CountLimited(params, limit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	if !ok {
+		fmt.Printf("%-10s aborted after %d nodes (limit) in %v\n", name, res.Nodes, elapsed.Round(time.Millisecond))
+		return
+	}
+	rate := float64(res.Nodes) / elapsed.Seconds()
+	fmt.Printf("%-10s nodes=%d leaves=%d depth=%d (%v, %.2fM nodes/s)\n",
+		name, res.Nodes, res.Leaves, res.MaxDepth, elapsed.Round(time.Millisecond), rate/1e6)
+}

@@ -1,0 +1,50 @@
+// Quickstart: simulate a distributed UTS traversal on a K Computer-like
+// machine and print the headline numbers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distws/internal/core"
+	"distws/internal/uts"
+	"distws/internal/victim"
+)
+
+func main() {
+	// A ~900k-node unbalanced tree searched by 64 simulated MPI ranks,
+	// one per compute node, stealing with the paper's distance-skewed
+	// ("Tofu") victim selection and half-stealing.
+	cfg := core.Config{
+		Tree:      uts.MustPreset("H-SMALL").Params,
+		Ranks:     64,
+		Selector:  victim.NewDistanceSkewed,
+		Steal:     core.StealHalf,
+		ChunkSize: 4,
+		Seed:      1,
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("searched %d tree nodes on %d ranks\n", res.Nodes, res.Ranks)
+	fmt.Printf("virtual makespan: %v (sequential: %v)\n", res.Makespan, res.SequentialTime)
+	fmt.Printf("speedup: %.1fx, efficiency: %.0f%%\n", res.Speedup, res.Efficiency*100)
+	fmt.Printf("steals: %d successful, %d failed\n", res.SuccessfulSteals, res.FailedSteals)
+
+	// The same run with the reference round-robin selection, for
+	// comparison. Only the selector changes.
+	cfg.Selector = victim.NewRoundRobin
+	cfg.Steal = core.StealOne
+	ref, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreference (round-robin, steal-one): speedup %.1fx, %d failed steals\n",
+		ref.Speedup, ref.FailedSteals)
+	fmt.Printf("improvement from victim selection + half-stealing: %.0f%%\n",
+		(float64(ref.Makespan)/float64(res.Makespan)-1)*100)
+}

@@ -1,0 +1,54 @@
+// Shared-memory traversal: runs UTS on real goroutines with the rt
+// work-stealing runtime and compares victim-selection strategies by
+// wall-clock time on this machine's CPUs.
+//
+//	go run ./examples/sharedmemory [-tree H-SMALL]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+
+	"distws/internal/rt"
+	"distws/internal/uts"
+)
+
+func main() {
+	treeName := flag.String("tree", "H-SMALL", "tree preset")
+	flag.Parse()
+
+	info, ok := uts.Preset(*treeName)
+	if !ok {
+		log.Fatalf("unknown preset %q (known: %v)", *treeName, uts.PresetNames())
+	}
+
+	serial, err := rt.Run(rt.Config{Tree: info.Params, Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tree %s: %d nodes, depth %d\n", info.Name, serial.Nodes, serial.MaxDepth)
+	fmt.Printf("serial traversal: %v (%.2fM nodes/s)\n\n",
+		serial.Elapsed, float64(serial.Nodes)/serial.Elapsed.Seconds()/1e6)
+
+	workers := runtime.GOMAXPROCS(0)
+	for _, sel := range []rt.SelectorKind{rt.RoundRobin, rt.Random, rt.RingSkewed} {
+		res, err := rt.Run(rt.Config{
+			Tree:      info.Params,
+			Workers:   workers,
+			Selector:  sel,
+			StealHalf: true,
+			Seed:      1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Nodes != serial.Nodes {
+			log.Fatalf("%v: counted %d nodes, serial found %d", sel, res.Nodes, serial.Nodes)
+		}
+		fmt.Printf("%-12v %d workers: %v (speedup %.2fx, %d steals, %d failed)\n",
+			sel, workers, res.Elapsed,
+			serial.Elapsed.Seconds()/res.Elapsed.Seconds(), res.Steals, res.FailedSteals)
+	}
+}

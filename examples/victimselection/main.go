@@ -1,0 +1,66 @@
+// Victim-selection comparison: the paper's headline experiment in one
+// program. Runs the same workload under every victim-selection strategy
+// and steal policy, over each of the paper's three rank placements, and
+// prints a comparison table.
+//
+//	go run ./examples/victimselection [-ranks 256]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"distws/internal/core"
+	"distws/internal/topology"
+	"distws/internal/uts"
+	"distws/internal/victim"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 256, "simulated MPI ranks")
+	flag.Parse()
+
+	tree := uts.MustPreset("H-SMALL").Params
+	variants := []struct {
+		name     string
+		selector victim.Factory
+		steal    core.StealPolicy
+	}{
+		{"Reference (round robin, steal one)", victim.NewRoundRobin, core.StealOne},
+		{"Rand (uniform random, steal one)", victim.NewUniformRandom, core.StealOne},
+		{"Tofu (distance skewed, steal one)", victim.NewDistanceSkewed, core.StealOne},
+		{"Reference Half", victim.NewRoundRobin, core.StealHalf},
+		{"Rand Half", victim.NewUniformRandom, core.StealHalf},
+		{"Tofu Half (the paper's winner)", victim.NewDistanceSkewed, core.StealHalf},
+	}
+	placements := []topology.Placement{
+		topology.OnePerNode, topology.EightRoundRobin, topology.EightGrouped,
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "variant\tplacement\tspeedup\tefficiency\tfailed steals\tmean search")
+	for _, v := range variants {
+		for _, pl := range placements {
+			res, err := core.Run(core.Config{
+				Tree:      tree,
+				Ranks:     *ranks,
+				Placement: pl,
+				Selector:  v.selector,
+				Steal:     v.steal,
+				ChunkSize: 4,
+				Seed:      7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%s\t%v\t%.1f\t%.3f\t%d\t%v\n",
+				v.name, pl, res.Speedup, res.Efficiency, res.FailedSteals, res.MeanSearchTime)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

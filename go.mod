@@ -1,0 +1,3 @@
+module distws
+
+go 1.22

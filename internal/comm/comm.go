@@ -1,0 +1,190 @@
+// Package comm provides the simulated message-passing substrate the
+// work-stealing runtime runs on.
+//
+// It models the properties of the two-sided MPI communication the
+// reference UTS implementation uses on the K Computer:
+//
+//   - a message from rank i to rank k is visible to k only after the
+//     one-way latency given by the topology's latency model;
+//   - delivery is passive: a busy receiver observes messages only when
+//     it polls its mailbox (matching MPI progress made between node
+//     expansions), while an idle receiver can register a notification
+//     callback (matching a rank spinning on MPI_Test);
+//   - per-pair message ordering is preserved (MPI non-overtaking): the
+//     latency model is distance-based, so messages between a fixed pair
+//     take equal delay and FIFO event dispatch preserves send order.
+//
+// All traffic is counted, per tag, for the statistics the paper reports
+// (steal requests, failures, work transfers).
+package comm
+
+import (
+	"fmt"
+
+	"distws/internal/sim"
+	"distws/internal/topology"
+)
+
+// Tag identifies the protocol role of a message.
+type Tag uint8
+
+// Protocol tags used by the work-stealing runtime.
+const (
+	// TagStealRequest is a thief asking a victim for work.
+	TagStealRequest Tag = iota
+	// TagWork is a victim's positive answer carrying stolen chunks.
+	TagWork
+	// TagNoWork is a victim's negative answer (failed steal).
+	TagNoWork
+	// TagToken is the termination-detection token.
+	TagToken
+	// TagTerminate is the broadcast ending the computation.
+	TagTerminate
+
+	numTags
+)
+
+func (t Tag) String() string {
+	switch t {
+	case TagStealRequest:
+		return "StealRequest"
+	case TagWork:
+		return "Work"
+	case TagNoWork:
+		return "NoWork"
+	case TagToken:
+		return "Token"
+	case TagTerminate:
+		return "Terminate"
+	default:
+		return fmt.Sprintf("Tag(%d)", uint8(t))
+	}
+}
+
+// Message is one in-flight or delivered message.
+type Message struct {
+	From, To int
+	Tag      Tag
+	// Payload carries protocol data; its concrete type depends on Tag.
+	Payload any
+	// Size is the modeled wire size in bytes, used for the bandwidth
+	// term of the latency model.
+	Size        int
+	SentAt      sim.Time
+	DeliveredAt sim.Time
+}
+
+// Stats aggregates traffic counters.
+type Stats struct {
+	Sent     [numTags]uint64
+	Bytes    [numTags]uint64
+	Received [numTags]uint64
+}
+
+// TotalSent returns the number of messages sent across all tags.
+func (s *Stats) TotalSent() uint64 {
+	var t uint64
+	for _, v := range s.Sent {
+		t += v
+	}
+	return t
+}
+
+// SentByTag returns the number of messages sent with the given tag.
+func (s *Stats) SentByTag(tag Tag) uint64 { return s.Sent[tag] }
+
+// Network is the simulated interconnect for one job.
+type Network struct {
+	kernel *sim.Kernel
+	job    *topology.Job
+	model  topology.LatencyModel
+
+	mailbox [][]*Message
+	notify  []func()
+	stats   Stats
+}
+
+// New creates a network for the given job over the kernel. The latency
+// model must not be nil.
+func New(k *sim.Kernel, job *topology.Job, model topology.LatencyModel) *Network {
+	if model == nil {
+		panic("comm: nil latency model")
+	}
+	n := job.Ranks()
+	return &Network{
+		kernel:  k,
+		job:     job,
+		model:   model,
+		mailbox: make([][]*Message, n),
+		notify:  make([]func(), n),
+	}
+}
+
+// Ranks returns the number of ranks attached to the network.
+func (n *Network) Ranks() int { return len(n.mailbox) }
+
+// Job returns the placed job the network was built for.
+func (n *Network) Job() *topology.Job { return n.job }
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Send queues a message for delivery after the model's one-way latency.
+// It is valid to send to oneself (used by the token ring at N=1); the
+// same-node latency applies.
+func (n *Network) Send(from, to int, tag Tag, payload any, size int) {
+	if to < 0 || to >= len(n.mailbox) {
+		panic(fmt.Sprintf("comm: send to invalid rank %d", to))
+	}
+	m := &Message{
+		From:    from,
+		To:      to,
+		Tag:     tag,
+		Payload: payload,
+		Size:    size,
+		SentAt:  n.kernel.Now(),
+	}
+	n.stats.Sent[tag]++
+	n.stats.Bytes[tag] += uint64(size)
+	delay := n.model.Latency(n.job, from, to, size)
+	if delay < 0 {
+		panic(fmt.Sprintf("comm: negative latency %v", delay))
+	}
+	if delay == 0 {
+		// No transfer is instantaneous; a strictly positive delay also
+		// prevents degenerate latency models from creating zero-time
+		// request/reply livelocks in the simulator.
+		delay = 1
+	}
+	n.kernel.After(delay, func() {
+		m.DeliveredAt = n.kernel.Now()
+		n.mailbox[to] = append(n.mailbox[to], m)
+		if fn := n.notify[to]; fn != nil {
+			fn()
+		}
+	})
+}
+
+// Poll drains and returns rank's delivered messages in delivery order.
+// It returns nil when the mailbox is empty.
+func (n *Network) Poll(rank int) []*Message {
+	msgs := n.mailbox[rank]
+	if len(msgs) == 0 {
+		return nil
+	}
+	n.mailbox[rank] = nil
+	for _, m := range msgs {
+		n.stats.Received[m.Tag]++
+	}
+	return msgs
+}
+
+// Pending reports whether rank has delivered-but-unpolled messages.
+func (n *Network) Pending(rank int) bool { return len(n.mailbox[rank]) > 0 }
+
+// SetNotify installs fn to be invoked (at delivery virtual time)
+// whenever a message is delivered to rank. Passing nil uninstalls it.
+// The callback fires for every delivery, including ones that land while
+// a previous callback's messages are still unpolled; receivers must
+// tolerate spurious wakeups.
+func (n *Network) SetNotify(rank int, fn func()) { n.notify[rank] = fn }

@@ -1,0 +1,232 @@
+package comm
+
+import (
+	"testing"
+
+	"distws/internal/sim"
+	"distws/internal/topology"
+)
+
+func testNetwork(t *testing.T, nranks int) (*sim.Kernel, *Network) {
+	t.Helper()
+	k := sim.NewKernel()
+	job, err := topology.NewJob(topology.KComputer(), nranks, topology.OnePerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, New(k, job, topology.DefaultLatency())
+}
+
+func TestSendDeliversAfterLatency(t *testing.T) {
+	k, n := testNetwork(t, 4)
+	var deliveredAt sim.Time
+	n.Send(0, 1, TagStealRequest, "hello", 16)
+	if n.Pending(1) {
+		t.Fatal("message visible before latency elapsed")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	msgs := n.Poll(1)
+	if len(msgs) != 1 {
+		t.Fatalf("polled %d messages, want 1", len(msgs))
+	}
+	m := msgs[0]
+	deliveredAt = m.DeliveredAt
+	if m.From != 0 || m.To != 1 || m.Tag != TagStealRequest || m.Payload != "hello" {
+		t.Fatalf("message corrupted: %+v", m)
+	}
+	if deliveredAt <= m.SentAt {
+		t.Fatal("delivery not after send")
+	}
+	want := topology.DefaultLatency().Latency(n.Job(), 0, 1, 16)
+	if got := deliveredAt.Sub(m.SentAt); got != want {
+		t.Fatalf("latency %v, want %v", got, want)
+	}
+}
+
+func TestPollDrains(t *testing.T) {
+	k, n := testNetwork(t, 2)
+	n.Send(0, 1, TagWork, 1, 0)
+	n.Send(0, 1, TagWork, 2, 0)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Poll(1)); got != 2 {
+		t.Fatalf("first poll: %d", got)
+	}
+	if n.Poll(1) != nil {
+		t.Fatal("second poll returned messages")
+	}
+	if n.Pending(1) {
+		t.Fatal("Pending after drain")
+	}
+}
+
+func TestPairwiseFIFO(t *testing.T) {
+	k, n := testNetwork(t, 2)
+	const count = 50
+	for i := 0; i < count; i++ {
+		n.Send(0, 1, TagWork, i, 8)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	msgs := n.Poll(1)
+	if len(msgs) != count {
+		t.Fatalf("got %d messages", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Payload.(int) != i {
+			t.Fatalf("message %d carries %v: FIFO violated", i, m.Payload)
+		}
+	}
+}
+
+func TestNotifyFiresAtDelivery(t *testing.T) {
+	k, n := testNetwork(t, 2)
+	var wokenAt []sim.Time
+	n.SetNotify(1, func() { wokenAt = append(wokenAt, k.Now()) })
+	n.Send(0, 1, TagStealRequest, nil, 0)
+	n.Send(0, 1, TagStealRequest, nil, 0)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wokenAt) != 2 {
+		t.Fatalf("notify fired %d times, want 2", len(wokenAt))
+	}
+	msgs := n.Poll(1)
+	if msgs[0].DeliveredAt != wokenAt[0] {
+		t.Fatal("notify time != delivery time")
+	}
+	// Uninstall and verify silence.
+	n.SetNotify(1, nil)
+	n.Send(0, 1, TagStealRequest, nil, 0)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wokenAt) != 2 {
+		t.Fatal("notify fired after uninstall")
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	k, n := testNetwork(t, 1)
+	n.Send(0, 0, TagToken, nil, 4)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Poll(0)) != 1 {
+		t.Fatal("self-send not delivered")
+	}
+}
+
+func TestSendToInvalidRankPanics(t *testing.T) {
+	_, n := testNetwork(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on invalid destination")
+		}
+	}()
+	n.Send(0, 5, TagWork, nil, 0)
+}
+
+func TestStatsCounters(t *testing.T) {
+	k, n := testNetwork(t, 3)
+	n.Send(0, 1, TagStealRequest, nil, 10)
+	n.Send(1, 0, TagNoWork, nil, 4)
+	n.Send(0, 2, TagStealRequest, nil, 10)
+	n.Send(2, 0, TagWork, nil, 200)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n.Poll(0)
+	n.Poll(1)
+	n.Poll(2)
+	s := n.Stats()
+	if s.SentByTag(TagStealRequest) != 2 || s.SentByTag(TagNoWork) != 1 || s.SentByTag(TagWork) != 1 {
+		t.Fatalf("sent counters wrong: %+v", s.Sent)
+	}
+	if s.Bytes[TagStealRequest] != 20 || s.Bytes[TagWork] != 200 {
+		t.Fatalf("byte counters wrong: %+v", s.Bytes)
+	}
+	if s.TotalSent() != 4 {
+		t.Fatalf("TotalSent = %d", s.TotalSent())
+	}
+	if s.Received[TagStealRequest] != 2 || s.Received[TagWork] != 1 || s.Received[TagNoWork] != 1 {
+		t.Fatalf("received counters wrong: %+v", s.Received)
+	}
+}
+
+func TestLatencyHeterogeneity(t *testing.T) {
+	// A message to a nearby rank must arrive before a same-time message
+	// to a distant rank — the property the whole paper depends on.
+	k := sim.NewKernel()
+	job, err := topology.NewJob(topology.KComputer(), 1024, topology.OnePerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(k, job, topology.DefaultLatency())
+	var nearAt, farAt sim.Time
+	n.SetNotify(1, func() { nearAt = k.Now() })
+	n.SetNotify(1023, func() { farAt = k.Now() })
+	n.Send(0, 1, TagStealRequest, nil, 0)
+	n.Send(0, 1023, TagStealRequest, nil, 0)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nearAt == 0 || farAt == 0 {
+		t.Fatal("messages not delivered")
+	}
+	if nearAt >= farAt {
+		t.Fatalf("near delivery %v not before far delivery %v", nearAt, farAt)
+	}
+}
+
+func TestTagString(t *testing.T) {
+	for tag, want := range map[Tag]string{
+		TagStealRequest: "StealRequest",
+		TagWork:         "Work",
+		TagNoWork:       "NoWork",
+		TagToken:        "Token",
+		TagTerminate:    "Terminate",
+		Tag(99):         "Tag(99)",
+	} {
+		if got := tag.String(); got != want {
+			t.Errorf("Tag(%d).String() = %q, want %q", uint8(tag), got, want)
+		}
+	}
+}
+
+func TestRanksAndNilModelPanic(t *testing.T) {
+	k, n := testNetwork(t, 3)
+	_ = k
+	if n.Ranks() != 3 {
+		t.Fatalf("Ranks = %d", n.Ranks())
+	}
+	job := n.Job()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil latency model accepted")
+		}
+	}()
+	New(sim.NewKernel(), job, nil)
+}
+
+func TestZeroLatencyClampedToOneNanosecond(t *testing.T) {
+	k := sim.NewKernel()
+	job, err := topology.NewJob(topology.KComputer(), 2, topology.OnePerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(k, job, &topology.UniformLatency{Fixed: 0})
+	n.Send(0, 1, TagWork, nil, 0)
+	var at sim.Time
+	n.SetNotify(1, func() { at = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 1 {
+		t.Fatalf("zero-latency message delivered at %d, want clamped to 1ns", at)
+	}
+}

@@ -1,0 +1,221 @@
+// Package core is the distributed work-stealing engine — the system the
+// paper studies, rebuilt over a simulated cluster.
+//
+// Each MPI rank of the reference UTS implementation becomes an
+// event-driven state machine scheduled by a discrete-event kernel. A
+// working rank expands tree nodes in quanta and polls its mailbox
+// between quanta (the paper's two-sided MPI model: a victim must stop
+// working to answer steal requests). An idle rank picks victims with a
+// pluggable selection strategy, sends steal requests and waits for
+// replies; termination is detected by a distributed token algorithm.
+//
+// The engine records the UTS statistics the paper reports (failed
+// steals, search time, work-discovery sessions) and, optionally, the
+// activity trace behind the paper's scheduling-latency metric.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"distws/internal/sim"
+	"distws/internal/term"
+	"distws/internal/topology"
+	"distws/internal/uts"
+	"distws/internal/victim"
+	"distws/internal/workstack"
+)
+
+// StealPolicy is the amount of work a successful steal transfers.
+type StealPolicy uint8
+
+const (
+	// StealOne transfers a single chunk, as the reference UTS does.
+	StealOne StealPolicy = iota
+	// StealHalf transfers half the victim's stealable chunks (§IV-C).
+	StealHalf
+)
+
+func (p StealPolicy) String() string {
+	if p == StealHalf {
+		return "Half"
+	}
+	return "One"
+}
+
+// Protocol selects how steal requests reach a victim.
+type Protocol uint8
+
+const (
+	// TwoSided is the reference model: the victim answers requests only
+	// when it polls between node expansions, and pays CPU time for
+	// every answer. This is the protocol the paper studies.
+	TwoSided Protocol = iota
+	// OneSided models RDMA-style steals (the paper's §VII future work,
+	// and the ARMCI implementation of Dinan et al. discussed in §VI):
+	// requests are served at delivery time without interrupting the
+	// victim's computation and without per-request victim CPU cost.
+	OneSided
+)
+
+func (p Protocol) String() string {
+	if p == OneSided {
+		return "OneSided"
+	}
+	return "TwoSided"
+}
+
+// Defaults used when Config fields are zero.
+const (
+	// DefaultNodeCost calibrates one node expansion to ~1 µs of virtual
+	// time, close to the paper's measured 970k nodes/second per rank.
+	DefaultNodeCost = 1 * sim.Microsecond
+	// DefaultStealResponseCost is the victim-side CPU time to package
+	// and post a work reply to one steal request.
+	DefaultStealResponseCost = 500 * sim.Nanosecond
+	// DefaultHandleRequestCost is the victim-side CPU time consumed by
+	// every steal request it answers, successful or not — the paper's
+	// "a worker stops advancing the computation to answer steal
+	// requests from others, thus slowing down the application". Failed
+	// steals are pure overhead for the victim too.
+	DefaultHandleRequestCost = 600 * sim.Nanosecond
+	// DefaultMaxVirtualTime aborts runaway simulations.
+	DefaultMaxVirtualTime = sim.Time(24 * 3600 * 1e9) // one virtual day
+)
+
+// Config describes one simulated execution.
+type Config struct {
+	// Tree is the UTS workload.
+	Tree uts.Params
+
+	// Machine is the simulated system; zero value means the K Computer.
+	Machine topology.Machine
+	// Ranks is the number of MPI ranks (required, >= 1).
+	Ranks int
+	// Placement maps ranks to nodes (1/N, 8RR, 8G).
+	Placement topology.Placement
+
+	// Selector builds the victim-selection strategy; nil means the
+	// reference round-robin.
+	Selector victim.Factory
+	// Steal is the steal-amount policy.
+	Steal StealPolicy
+	// ChunkSize is nodes per chunk; 0 means the UTS default of 20.
+	ChunkSize int
+	// PollInterval is the number of node expansions between mailbox
+	// polls; 0 means 1, matching the reference implementation, whose
+	// work loop makes MPI progress on every iteration. Larger values
+	// model a coarser progress engine (ablation A2) — they inflate the
+	// victim-side component of the steal round trip until physical
+	// latency differences stop mattering.
+	PollInterval int
+
+	// NodeCost is the virtual compute time per node expansion; 0 means
+	// DefaultNodeCost. Work granularity (paper §V-B) scales this by the
+	// tree's SHA-round count — use GranularityCost.
+	NodeCost sim.Duration
+	// StealResponseCost is victim CPU time to package work for one
+	// successful steal; 0 means DefaultStealResponseCost.
+	StealResponseCost sim.Duration
+	// HandleRequestCost is victim CPU time per steal request answered,
+	// successful or not; 0 means DefaultHandleRequestCost.
+	HandleRequestCost sim.Duration
+	// Latency is the network model; nil means topology.DefaultLatency.
+	Latency topology.LatencyModel
+
+	// Detector builds the termination detector; nil means Safra.
+	Detector term.Factory
+
+	// Protocol selects the steal transport (two-sided polling, as in
+	// the paper, or one-sided RDMA-style).
+	Protocol Protocol
+
+	// StealTimeout, when positive, enables aborting steals (Dinan et
+	// al., paper §VI): a thief that has waited longer than this for a
+	// reply abandons it and tries another victim. Work arriving late is
+	// still accepted. Zero disables aborts (reference behaviour).
+	StealTimeout sim.Duration
+
+	// BackoffPolicy throttles steal retries after long failure runs;
+	// the zero value selects DefaultBackoff, Threshold < 0 disables
+	// throttling entirely (reference-faithful immediate retry).
+	BackoffPolicy Backoff
+
+	// Seed drives every random choice of the run.
+	Seed uint64
+
+	// CollectTrace enables the activity trace (paper §III). Costs
+	// memory proportional to the number of phase transitions.
+	CollectTrace bool
+
+	// MaxVirtualTime aborts the run if the virtual clock passes it;
+	// 0 means DefaultMaxVirtualTime.
+	MaxVirtualTime sim.Time
+
+	// testProbe, when set (package-internal, for tests and debugging),
+	// is invoked with the engine every testProbeEvery of virtual time.
+	testProbe      func(e interface{})
+	testProbeEvery sim.Duration
+}
+
+// GranularityCost returns the node cost for a tree whose node creation
+// runs the given number of SHA rounds, scaling DefaultNodeCost the way
+// the paper's granularity experiment does (§V-B).
+func GranularityCost(shaRounds int) sim.Duration {
+	if shaRounds < 1 {
+		shaRounds = 1
+	}
+	return sim.Duration(shaRounds) * DefaultNodeCost
+}
+
+// withDefaults returns a copy of c with zero values replaced.
+func (c Config) withDefaults() Config {
+	if c.Machine == (topology.Machine{}) {
+		c.Machine = topology.KComputer()
+	}
+	if c.Selector == nil {
+		c.Selector = victim.NewRoundRobin
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = workstack.DefaultChunkSize
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 1
+	}
+	if c.NodeCost == 0 {
+		c.NodeCost = DefaultNodeCost
+	}
+	if c.StealResponseCost == 0 {
+		c.StealResponseCost = DefaultStealResponseCost
+	}
+	if c.HandleRequestCost == 0 {
+		c.HandleRequestCost = DefaultHandleRequestCost
+	}
+	if c.Latency == nil {
+		c.Latency = topology.DefaultLatency()
+	}
+	if c.Detector == nil {
+		c.Detector = term.NewSafra
+	}
+	if c.MaxVirtualTime == 0 {
+		c.MaxVirtualTime = DefaultMaxVirtualTime
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Tree.Validate(); err != nil {
+		return err
+	}
+	if c.Ranks < 1 {
+		return fmt.Errorf("core: %d ranks", c.Ranks)
+	}
+	if c.ChunkSize < 0 || c.PollInterval < 0 {
+		return errors.New("core: negative chunk size or poll interval")
+	}
+	if c.NodeCost < 0 || c.StealResponseCost < 0 {
+		return errors.New("core: negative cost")
+	}
+	return nil
+}

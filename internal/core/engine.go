@@ -1,0 +1,665 @@
+package core
+
+import (
+	"fmt"
+
+	"distws/internal/comm"
+	"distws/internal/sim"
+	"distws/internal/term"
+	"distws/internal/topology"
+	"distws/internal/trace"
+	"distws/internal/uts"
+	"distws/internal/victim"
+	"distws/internal/workstack"
+)
+
+// rankState is a rank's scheduling state.
+type rankState uint8
+
+const (
+	// rsWorking: the rank has work and a quantum event scheduled.
+	rsWorking rankState = iota
+	// rsSearching: the rank sent a steal request and awaits the reply.
+	rsSearching
+	// rsBackoff: the rank is idle, pausing between steal attempts.
+	rsBackoff
+	// rsDone: the rank observed termination.
+	rsDone
+)
+
+// Backoff controls how idle ranks throttle steal attempts once a long
+// run of consecutive failures indicates global work scarcity. The
+// reference implementation retries immediately forever; simulating
+// 8192 ranks in one address space makes that O(N^2) tail traffic
+// prohibitively expensive, so after Threshold consecutive failures the
+// thief waits Base, doubling up to Max, resetting on success. Set
+// Threshold < 0 to disable (reference-faithful); the ablation bench
+// A6 shows the experiment conclusions are insensitive to this knob.
+type Backoff struct {
+	Threshold int
+	Base, Max sim.Duration
+}
+
+// DefaultBackoff is used when Config.Backoff is the zero value.
+var DefaultBackoff = Backoff{
+	Threshold: 64,
+	Base:      100 * sim.Microsecond,
+	Max:       2 * sim.Millisecond,
+}
+
+// rank is the per-rank engine state.
+type rank struct {
+	state rankState
+	stack *workstack.Stack
+
+	// Tree statistics. units is the accumulated expansion cost in
+	// NodeCost units (one per child generated, one per leaf).
+	nodes, leaves, units uint64
+	maxDepth             int32
+
+	// In-progress node expansion, resumable across quanta so that a
+	// high-fanout node (e.g. a root with thousands of children) does
+	// not create a polling blackout. expNext < expTotal while children
+	// of expNode remain to generate.
+	expNode           uts.Node
+	expNext, expTotal int
+
+	// Steal statistics.
+	requests, fails, successes uint64
+	aborted                    uint64
+	consecFails                int
+	backoff                    sim.Duration
+	pendingVictim              int    // victim of the outstanding request
+	reqID                      uint64 // id of the outstanding request
+	waitStart                  sim.Time
+	searchWait                 sim.Duration // total time waiting for replies
+	sessions                   uint64
+
+	// deferred holds messages delivered mid-quantum that the one-sided
+	// protocol does not serve at delivery time (tokens, replies); they
+	// are processed at the next poll.
+	deferred []*comm.Message
+
+	// quantum is the pending quantum-end event, if any.
+	quantum *sim.Event
+	// extraDelay accumulates steal-response packaging costs that push
+	// the next quantum start.
+	extraDelay sim.Duration
+}
+
+type engine struct {
+	cfg    Config
+	kernel *sim.Kernel
+	job    *topology.Job
+	net    *comm.Network
+	det    term.Detector
+	sel    victim.Selector
+	rec    *trace.Recorder
+	ranks  []rank
+
+	backoffCfg Backoff
+
+	workSent, workReceived uint64
+	nodesSent              uint64
+	detectedAt             sim.Time
+	detected               bool
+	doneCount              int
+}
+
+// Result summarizes one simulated execution.
+type Result struct {
+	// Config echo for reports.
+	Ranks     int
+	Placement topology.Placement
+	Selector  string
+	Steal     StealPolicy
+
+	// Tree totals, verified against sequential enumeration by tests.
+	Nodes    uint64
+	Leaves   uint64
+	MaxDepth int32
+
+	// Makespan is the virtual time at which termination was detected at
+	// rank 0 (what the benchmark's wall clock would report).
+	Makespan sim.Duration
+	// SequentialTime is the total expansion cost (child generations
+	// times NodeCost): the virtual time one rank would need to search
+	// the whole tree, the baseline for Speedup and Efficiency.
+	SequentialTime sim.Duration
+	Speedup        float64
+	Efficiency     float64
+
+	// Steal statistics (paper §V-A).
+	StealRequests    uint64
+	FailedSteals     uint64
+	SuccessfulSteals uint64
+	// AbortedSteals counts requests abandoned by their timeout (only
+	// nonzero when Config.StealTimeout enables aborting steals).
+	AbortedSteals uint64
+	// MeanSearchTime is the average, over ranks, of the total time each
+	// rank spent waiting for steal answers ("search time").
+	MeanSearchTime sim.Duration
+	// MeanSessionDuration is the average work-discovery session length
+	// (Figure 10); zero if tracing was disabled or no sessions exist.
+	MeanSessionDuration sim.Duration
+	Sessions            uint64
+
+	// ChunksTransferred counts chunks moved by successful steals.
+	ChunksTransferred uint64
+
+	// Load imbalance across ranks, as the UTS reports print: the
+	// fraction of all nodes expanded by the busiest and laziest rank,
+	// and the ratio busiest/mean ("imbalance", 1.0 = perfect).
+	MaxRankNodes, MinRankNodes uint64
+	Imbalance                  float64
+
+	// Termination detection.
+	Detector          string
+	TerminationRounds int
+	// Premature is true when the detector fired while work remained —
+	// possible for the Ring detector with in-flight messages, never for
+	// Safra. The node counts are then incomplete.
+	Premature bool
+
+	// Comm is the network traffic summary.
+	Comm comm.Stats
+
+	// Trace is the activity trace, when Config.CollectTrace was set.
+	Trace *trace.Trace
+}
+
+// Run executes the configured simulation to termination and returns its
+// results. The run is deterministic: identical configurations produce
+// identical results.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	job, err := topology.NewJob(cfg.Machine, cfg.Ranks, cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &engine{
+		cfg:        cfg,
+		kernel:     sim.NewKernel(),
+		job:        job,
+		det:        cfg.Detector(cfg.Ranks),
+		ranks:      make([]rank, cfg.Ranks),
+		backoffCfg: cfg.backoff(),
+	}
+	e.kernel.SetTimeLimit(cfg.MaxVirtualTime)
+	e.net = comm.New(e.kernel, job, cfg.Latency)
+	e.sel = cfg.Selector(job, cfg.Seed)
+	if cfg.CollectTrace {
+		e.rec = trace.NewRecorder(cfg.Ranks)
+	}
+	for i := range e.ranks {
+		e.ranks[i].stack = workstack.New(cfg.ChunkSize)
+		e.ranks[i].pendingVictim = -1
+		r := i
+		e.net.SetNotify(r, func() { e.onDelivery(r) })
+	}
+
+	// Rank 0 owns the root; everyone else starts searching at t = 0.
+	root := cfg.Tree.Root()
+	e.ranks[0].stack.Push(root)
+	e.recordState(0, 0, trace.Active)
+	e.startQuantum(0)
+	for r := 1; r < cfg.Ranks; r++ {
+		e.goIdle(r)
+	}
+
+	if cfg.testProbe != nil && cfg.testProbeEvery > 0 {
+		var tick func()
+		tick = func() {
+			cfg.testProbe(e)
+			if !e.detected {
+				e.kernel.After(cfg.testProbeEvery, tick)
+			}
+		}
+		e.kernel.After(cfg.testProbeEvery, tick)
+	}
+
+	if err := e.kernel.Run(); err != nil {
+		return nil, fmt.Errorf("core: simulation aborted at virtual %v after %d events: %w",
+			e.kernel.Now(), e.kernel.Dispatched(), err)
+	}
+	if !e.detected {
+		return nil, fmt.Errorf("core: event queue drained without termination detection")
+	}
+	return e.result(), nil
+}
+
+// backoff resolves the backoff policy from the config.
+func (c Config) backoff() Backoff {
+	// The zero value selects the default; Threshold < 0 disables.
+	if (c.BackoffPolicy == Backoff{}) {
+		return DefaultBackoff
+	}
+	return c.BackoffPolicy
+}
+
+func (e *engine) recordState(r int, t sim.Time, s trace.State) {
+	if e.rec != nil {
+		e.rec.Record(r, t, s)
+	}
+}
+
+// startQuantum expands up to PollInterval nodes from rank r's stack and
+// schedules the quantum-end event after the corresponding virtual
+// compute time (plus any accumulated steal-response overhead). The
+// stack mutation happens eagerly; it becomes observable to thieves at
+// quantum end, which is when the rank polls its mailbox — matching a
+// two-sided MPI process that only makes communication progress between
+// node expansions.
+func (e *engine) startQuantum(r int) {
+	rk := &e.ranks[r]
+	rk.state = rsWorking
+	// Expansion cost is dominated by child generation (one hash chain
+	// per child), so a leaf costs one unit and an internal node one
+	// unit per child. Child generation is resumable: a quantum ends
+	// after PollInterval units even in the middle of a high-fanout
+	// node, so the rank keeps polling at a bounded period.
+	start := rk.units
+	for rk.units-start < uint64(e.cfg.PollInterval) {
+		if rk.expNext < rk.expTotal {
+			rk.stack.Push(e.cfg.Tree.Child(&rk.expNode, rk.expNext))
+			rk.expNext++
+			rk.units++
+			continue
+		}
+		node, ok := rk.stack.Pop()
+		if !ok {
+			break
+		}
+		rk.nodes++
+		if node.Height > rk.maxDepth {
+			rk.maxDepth = node.Height
+		}
+		nchild := e.cfg.Tree.NumChildren(&node)
+		if nchild == 0 {
+			rk.leaves++
+			rk.units++
+			continue
+		}
+		rk.expNode = node
+		rk.expNext = 0
+		rk.expTotal = nchild
+	}
+	dur := sim.Duration(rk.units-start)*e.cfg.NodeCost + rk.extraDelay
+	rk.extraDelay = 0
+	rk.quantum = e.kernel.After(dur, func() { e.quantumEnd(r) })
+}
+
+func (e *engine) quantumEnd(r int) {
+	rk := &e.ranks[r]
+	rk.quantum = nil
+	if rk.state == rsDone {
+		return
+	}
+	e.pollMailbox(r)
+	if rk.state == rsDone {
+		return
+	}
+	if !rk.stack.Empty() || rk.expNext < rk.expTotal {
+		e.startQuantum(r)
+		return
+	}
+	e.goIdle(r)
+}
+
+// goIdle transitions rank r from working (or initial state) to idle:
+// trace the phase change, open a work-discovery session, let the
+// termination detector act, then start searching for a victim.
+func (e *engine) goIdle(r int) {
+	rk := &e.ranks[r]
+	now := e.kernel.Now()
+	rk.state = rsBackoff // idle until sendSteal marks it searching
+	rk.extraDelay = 0    // request-handling debt is moot once idle
+	e.recordState(r, now, trace.Idle)
+	if e.rec != nil {
+		e.rec.BeginSession(r, now)
+	}
+	rk.sessions++
+	e.forwardTokens(e.det.OnIdle(r))
+	if e.checkTermination() {
+		return
+	}
+	if e.cfg.Ranks == 1 {
+		// No one to steal from; wait for the detector (which must have
+		// fired above for a single rank).
+		rk.state = rsBackoff
+		return
+	}
+	e.sendSteal(r)
+}
+
+// stealRequest and the reply payloads carry the request id so that
+// aborting thieves can recognize stale replies.
+type stealRequest struct{ ID uint64 }
+
+type workReply struct {
+	ID    uint64
+	Nodes []uts.Node
+}
+
+type noWorkReply struct{ ID uint64 }
+
+// sendSteal picks the next victim and posts a steal request, arming the
+// abort timer when aborting steals are enabled.
+func (e *engine) sendSteal(r int) {
+	rk := &e.ranks[r]
+	v := e.sel.Next(r)
+	rk.pendingVictim = v
+	rk.reqID++
+	id := rk.reqID
+	rk.requests++
+	rk.waitStart = e.kernel.Now()
+	rk.state = rsSearching
+	e.net.Send(r, v, comm.TagStealRequest, stealRequest{ID: id}, 16)
+	if e.cfg.StealTimeout > 0 {
+		e.kernel.After(e.cfg.StealTimeout, func() { e.abortSteal(r, v, id) })
+	}
+}
+
+// abortSteal gives up on an outstanding request whose reply is late
+// (aborting steals, Dinan et al.). A late work reply is still accepted
+// if it ever arrives.
+func (e *engine) abortSteal(r, v int, id uint64) {
+	rk := &e.ranks[r]
+	if rk.state != rsSearching || rk.reqID != id {
+		return // the reply arrived, or this rank moved on
+	}
+	now := e.kernel.Now()
+	rk.searchWait += now.Sub(rk.waitStart)
+	rk.aborted++
+	rk.consecFails++
+	rk.pendingVictim = -1
+	e.sel.Observe(r, v, false)
+	if e.rec != nil {
+		e.rec.SessionAttempt(r, true)
+	}
+	e.retryOrBackoff(r)
+}
+
+// onDelivery is the network notify hook: it runs at message delivery
+// time. Idle ranks handle traffic immediately, like an MPI process
+// spinning on probe. Working ranks normally wait for their next poll;
+// under the one-sided protocol, steal requests are served right away
+// (the "NIC" answers without interrupting the computation) and other
+// traffic is deferred to the poll.
+func (e *engine) onDelivery(r int) {
+	rk := &e.ranks[r]
+	if rk.state == rsWorking {
+		if e.cfg.Protocol == OneSided {
+			for _, m := range e.net.Poll(r) {
+				if m.Tag == comm.TagStealRequest {
+					e.handle(r, m)
+				} else {
+					rk.deferred = append(rk.deferred, m)
+				}
+			}
+		}
+		return
+	}
+	e.pollMailbox(r)
+}
+
+// pollMailbox drains and handles all delivered (and deferred) messages
+// for rank r.
+func (e *engine) pollMailbox(r int) {
+	rk := &e.ranks[r]
+	msgs := rk.deferred
+	rk.deferred = nil
+	msgs = append(msgs, e.net.Poll(r)...)
+	for _, m := range msgs {
+		e.handle(r, m)
+	}
+}
+
+func (e *engine) handle(r int, m *comm.Message) {
+	rk := &e.ranks[r]
+	switch m.Tag {
+	case comm.TagStealRequest:
+		e.handleStealRequest(r, m.From, m.Payload.(stealRequest).ID)
+
+	case comm.TagWork:
+		if rk.state == rsDone {
+			// A work message can be in flight past a (Ring-detected)
+			// termination; dropping it leaves workSent != workReceived,
+			// which flags the run as premature.
+			return
+		}
+		reply := m.Payload.(workReply)
+		now := e.kernel.Now()
+		// Work is always accepted — even a reply to an aborted request
+		// (the nodes would otherwise be lost). Safra's counters must see
+		// every accepted transfer.
+		e.workReceived++
+		e.det.WorkReceived(r)
+		e.sel.Observe(r, m.From, true)
+		rk.successes++
+		rk.consecFails = 0
+		rk.backoff = 0
+		switch rk.state {
+		case rsSearching, rsBackoff:
+			if rk.state == rsSearching && reply.ID == rk.reqID {
+				rk.searchWait += now.Sub(rk.waitStart)
+			}
+			rk.pendingVictim = -1
+			if e.rec != nil {
+				e.rec.SessionAttempt(r, false)
+				e.rec.EndSession(r, now, true)
+			}
+			e.recordState(r, now, trace.Active)
+			rk.stack.Acquire(reply.Nodes)
+			e.startQuantum(r)
+		case rsWorking:
+			// Late reply to an aborted request: just bank the nodes.
+			rk.stack.Acquire(reply.Nodes)
+		}
+
+	case comm.TagNoWork:
+		if rk.state == rsDone {
+			return
+		}
+		reply := m.Payload.(noWorkReply)
+		if rk.state != rsSearching || reply.ID != rk.reqID {
+			// Stale reply to an aborted request.
+			return
+		}
+		now := e.kernel.Now()
+		rk.searchWait += now.Sub(rk.waitStart)
+		rk.fails++
+		rk.consecFails++
+		rk.pendingVictim = -1
+		e.sel.Observe(r, m.From, false)
+		if e.rec != nil {
+			e.rec.SessionAttempt(r, true)
+		}
+		e.retryOrBackoff(r)
+
+	case comm.TagToken:
+		idle := rk.state != rsWorking
+		e.forwardTokens(e.det.OnToken(r, m.Payload.(term.Token), idle))
+		e.checkTermination()
+
+	case comm.TagTerminate:
+		e.finishRank(r)
+
+	default:
+		panic(fmt.Sprintf("core: unexpected tag %v", m.Tag))
+	}
+}
+
+// handleStealRequest answers thief's request against rank v's stack.
+func (e *engine) handleStealRequest(v, thief int, id uint64) {
+	rk := &e.ranks[v]
+	if rk.state == rsDone {
+		// Termination already detected; the thief will receive its own
+		// terminate message. Answer no-work to be safe.
+		e.net.Send(v, thief, comm.TagNoWork, noWorkReply{ID: id}, 16)
+		return
+	}
+	// Answering costs the victim compute time whether or not it has
+	// work to give; the flood of failed steals the paper measures
+	// (Figure 7) slows victims down through exactly this term. Idle
+	// victims answer from otherwise-wasted time, and under the
+	// one-sided protocol the network hardware serves the request, so
+	// only working two-sided ranks accrue the delay.
+	twoSided := e.cfg.Protocol == TwoSided
+	if twoSided && rk.state == rsWorking {
+		rk.extraDelay += e.cfg.HandleRequestCost
+	}
+	var loot []uts.Node
+	var chunks int
+	switch e.cfg.Steal {
+	case StealHalf:
+		loot, chunks = rk.stack.StealHalf()
+	default:
+		loot, chunks = rk.stack.StealOne()
+	}
+	if chunks == 0 {
+		e.net.Send(v, thief, comm.TagNoWork, noWorkReply{ID: id}, 16)
+		return
+	}
+	e.det.WorkSent(v)
+	e.workSent++
+	e.nodesSent += uint64(len(loot))
+	if twoSided {
+		rk.extraDelay += e.cfg.StealResponseCost
+	}
+	e.net.Send(v, thief, comm.TagWork, workReply{ID: id, Nodes: loot}, len(loot)*uts.NodeBytes)
+}
+
+// retryOrBackoff continues an idle rank's search, inserting a pause
+// once consecutive failures pass the backoff threshold.
+func (e *engine) retryOrBackoff(r int) {
+	rk := &e.ranks[r]
+	b := e.backoffCfg
+	if b.Threshold < 0 || rk.consecFails < b.Threshold {
+		e.sendSteal(r)
+		return
+	}
+	if rk.backoff == 0 {
+		rk.backoff = b.Base
+	} else if rk.backoff < b.Max {
+		rk.backoff *= 2
+		if rk.backoff > b.Max {
+			rk.backoff = b.Max
+		}
+	}
+	rk.state = rsBackoff
+	e.kernel.After(rk.backoff, func() {
+		if e.ranks[r].state == rsBackoff {
+			e.sendSteal(r)
+		}
+	})
+}
+
+// forwardTokens transmits detector-emitted tokens on the ring.
+func (e *engine) forwardTokens(sends []term.Send) {
+	for _, s := range sends {
+		// The sender is the ring predecessor of the destination.
+		from := (s.To - 1 + e.cfg.Ranks) % e.cfg.Ranks
+		e.net.Send(from, s.To, comm.TagToken, s.Token, term.TokenBytes)
+	}
+}
+
+// checkTermination broadcasts termination once the detector fires.
+// It returns true if termination has been detected.
+func (e *engine) checkTermination() bool {
+	if !e.det.Terminated() {
+		return e.detected
+	}
+	if e.detected {
+		return true
+	}
+	e.detected = true
+	e.detectedAt = e.kernel.Now()
+	// Detection happens at rank 0 for both detectors.
+	e.finishRank(0)
+	for r := 1; r < e.cfg.Ranks; r++ {
+		e.net.Send(0, r, comm.TagTerminate, nil, 8)
+	}
+	return true
+}
+
+// finishRank marks r done and closes its trace state.
+func (e *engine) finishRank(r int) {
+	rk := &e.ranks[r]
+	if rk.state == rsDone {
+		return
+	}
+	now := e.kernel.Now()
+	if e.rec != nil && rk.state != rsWorking {
+		e.rec.EndSession(r, now, false)
+	}
+	if rk.quantum != nil {
+		e.kernel.Cancel(rk.quantum)
+		rk.quantum = nil
+	}
+	rk.state = rsDone
+	e.doneCount++
+}
+
+// result assembles the Result after the kernel drains.
+func (e *engine) result() *Result {
+	res := &Result{
+		Ranks:     e.cfg.Ranks,
+		Placement: e.cfg.Placement,
+		Selector:  e.sel.Name(),
+		Steal:     e.cfg.Steal,
+		Detector:  e.det.Name(),
+		Makespan:  sim.Duration(e.detectedAt),
+		Comm:      e.net.Stats(),
+	}
+	var totalSearch sim.Duration
+	var remaining int
+	var totalUnits uint64
+	res.MinRankNodes = ^uint64(0)
+	for i := range e.ranks {
+		rk := &e.ranks[i]
+		res.Nodes += rk.nodes
+		res.Leaves += rk.leaves
+		totalUnits += rk.units
+		if rk.nodes > res.MaxRankNodes {
+			res.MaxRankNodes = rk.nodes
+		}
+		if rk.nodes < res.MinRankNodes {
+			res.MinRankNodes = rk.nodes
+		}
+		if rk.maxDepth > res.MaxDepth {
+			res.MaxDepth = rk.maxDepth
+		}
+		res.StealRequests += rk.requests
+		res.FailedSteals += rk.fails
+		res.SuccessfulSteals += rk.successes
+		res.AbortedSteals += rk.aborted
+		res.Sessions += rk.sessions
+		totalSearch += rk.searchWait
+		remaining += rk.stack.Len()
+		res.ChunksTransferred += rk.stack.Stats().ChunksAcquired
+	}
+	res.MeanSearchTime = totalSearch / sim.Duration(e.cfg.Ranks)
+	res.SequentialTime = sim.Duration(totalUnits) * e.cfg.NodeCost
+	if res.Makespan > 0 {
+		res.Speedup = float64(res.SequentialTime) / float64(res.Makespan)
+		res.Efficiency = res.Speedup / float64(e.cfg.Ranks)
+	}
+	if res.Nodes > 0 {
+		mean := float64(res.Nodes) / float64(e.cfg.Ranks)
+		res.Imbalance = float64(res.MaxRankNodes) / mean
+	}
+	res.TerminationRounds = e.det.Rounds()
+	res.Premature = remaining > 0 || e.workSent != e.workReceived
+	if e.rec != nil {
+		res.Trace = e.rec.Finish(e.detectedAt)
+		if d, ok := res.Trace.MeanSessionDuration(); ok {
+			res.MeanSessionDuration = d
+		}
+	}
+	return res
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distws/internal/sim"
+	"distws/internal/term"
+	"distws/internal/topology"
+	"distws/internal/uts"
+	"distws/internal/victim"
+)
+
+// TestPropertyConservationAcrossConfigSpace drives the engine through
+// randomized corners of its configuration space and asserts the one
+// invariant every run must satisfy: the traversal counts exactly the
+// sequential tree, with no premature termination (Safra).
+func TestPropertyConservationAcrossConfigSpace(t *testing.T) {
+	want := seqCount(t, "T3")
+	tree := uts.MustPreset("T3").Params
+	selectors := []victim.Factory{
+		victim.NewRoundRobin, victim.NewUniformRandom, victim.NewDistanceSkewed,
+		victim.NewLastVictim, victim.NewHierarchical, victim.NewLifeline,
+	}
+	placements := []topology.Placement{
+		topology.OnePerNode, topology.EightRoundRobin, topology.EightGrouped,
+	}
+	f := func(ranksRaw, chunkRaw, pollRaw, selRaw, plRaw uint8, half, oneSided, aborts bool, seed uint64) bool {
+		ranks := int(ranksRaw%16) + 1
+		pl := placements[int(plRaw)%len(placements)]
+		if pl != topology.OnePerNode {
+			ranks = ((ranks + 7) / 8) * 8 // 8-per-node placements need multiples of 8
+		}
+		cfg := Config{
+			Tree:         tree,
+			Ranks:        ranks,
+			Placement:    pl,
+			Selector:     selectors[int(selRaw)%len(selectors)],
+			ChunkSize:    int(chunkRaw%8) + 1,
+			PollInterval: int(pollRaw%30) + 1,
+			Seed:         seed,
+		}
+		if half {
+			cfg.Steal = StealHalf
+		}
+		if oneSided {
+			cfg.Protocol = OneSided
+		}
+		if aborts {
+			cfg.StealTimeout = 7 * sim.Microsecond
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Logf("config error: %v", err)
+			return false
+		}
+		if res.Premature {
+			t.Logf("premature: %+v", cfg)
+			return false
+		}
+		return res.Nodes == want.Nodes && res.Leaves == want.Leaves && res.MaxDepth == want.MaxDepth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRingDetectorAccounting asserts that with the
+// reference-style ring detector, the Premature flag and the node counts
+// are always mutually consistent across random configurations.
+func TestPropertyRingDetectorAccounting(t *testing.T) {
+	want := seqCount(t, "T3")
+	tree := uts.MustPreset("T3").Params
+	f := func(ranksRaw, chunkRaw uint8, half bool, seed uint64) bool {
+		cfg := Config{
+			Tree:      tree,
+			Ranks:     int(ranksRaw%12) + 2,
+			Selector:  victim.NewUniformRandom,
+			ChunkSize: int(chunkRaw%6) + 1,
+			Detector:  term.NewRing,
+			Seed:      seed,
+		}
+		if half {
+			cfg.Steal = StealHalf
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		if res.Premature {
+			return res.Nodes < want.Nodes
+		}
+		return res.Nodes == want.Nodes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

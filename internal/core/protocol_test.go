@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"distws/internal/sim"
+	"distws/internal/uts"
+	"distws/internal/victim"
+)
+
+func TestOneSidedCountsCorrectly(t *testing.T) {
+	want := seqCount(t, "T3")
+	for _, steal := range []StealPolicy{StealOne, StealHalf} {
+		res, err := Run(Config{
+			Tree:     uts.MustPreset("T3").Params,
+			Ranks:    8,
+			Selector: victim.NewUniformRandom,
+			Steal:    steal,
+			Protocol: OneSided,
+			Seed:     31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Nodes != want.Nodes || res.Leaves != want.Leaves {
+			t.Fatalf("one-sided %v: %d/%d nodes/leaves, want %d/%d",
+				steal, res.Nodes, res.Leaves, want.Nodes, want.Leaves)
+		}
+		if res.Premature {
+			t.Fatalf("one-sided %v flagged premature", steal)
+		}
+	}
+}
+
+func TestOneSidedFasterStealsUnderLoad(t *testing.T) {
+	// One-sided steals bypass the victim's polling loop and per-request
+	// CPU costs, so mean search time must not be worse than two-sided
+	// on the same workload (it is the point of the paper's §VII and of
+	// Dinan et al.'s design).
+	run := func(p Protocol) *Result {
+		res, err := Run(Config{
+			Tree:      uts.MustPreset("H-TINY").Params,
+			Ranks:     64,
+			ChunkSize: 4,
+			Selector:  victim.NewUniformRandom,
+			Steal:     StealHalf,
+			Protocol:  p,
+			// Exaggerate the two-sided handicap: coarse polling.
+			PollInterval: 50,
+			Seed:         13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	two := run(TwoSided)
+	one := run(OneSided)
+	if one.Nodes != two.Nodes {
+		t.Fatalf("protocols disagree on node count: %d vs %d", one.Nodes, two.Nodes)
+	}
+	if one.MeanSearchTime > two.MeanSearchTime {
+		t.Fatalf("one-sided search %v slower than two-sided %v", one.MeanSearchTime, two.MeanSearchTime)
+	}
+	if one.Makespan >= two.Makespan {
+		t.Fatalf("one-sided makespan %v not better than two-sided %v under coarse polling", one.Makespan, two.Makespan)
+	}
+}
+
+func TestAbortingStealsComplete(t *testing.T) {
+	want := seqCount(t, "T3S")
+	res, err := Run(Config{
+		Tree:         uts.MustPreset("T3S").Params,
+		Ranks:        32,
+		ChunkSize:    4,
+		Selector:     victim.NewUniformRandom,
+		Steal:        StealHalf,
+		StealTimeout: 5 * sim.Microsecond, // aggressive: most waits abort
+		Seed:         17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != want.Nodes {
+		t.Fatalf("aborting run counted %d nodes, want %d", res.Nodes, want.Nodes)
+	}
+	if res.Premature {
+		t.Fatal("aborting run flagged premature")
+	}
+	if res.AbortedSteals == 0 {
+		t.Fatal("no aborts despite a 5µs timeout")
+	}
+}
+
+func TestAbortTimeoutLongerThanRTTNeverFires(t *testing.T) {
+	res, err := Run(Config{
+		Tree:         uts.MustPreset("T3").Params,
+		Ranks:        8,
+		Selector:     victim.NewUniformRandom,
+		StealTimeout: sim.Second, // far beyond any round trip
+		Seed:         19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbortedSteals != 0 {
+		t.Fatalf("%d aborts with a 1s timeout", res.AbortedSteals)
+	}
+}
+
+func TestAbortsDisabledByDefault(t *testing.T) {
+	res, err := Run(Config{
+		Tree:     uts.MustPreset("T3").Params,
+		Ranks:    8,
+		Selector: victim.NewUniformRandom,
+		Seed:     23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbortedSteals != 0 {
+		t.Fatal("aborts counted without StealTimeout")
+	}
+}
+
+func TestOneSidedWithAborts(t *testing.T) {
+	// The two extensions compose.
+	want := seqCount(t, "T3")
+	res, err := Run(Config{
+		Tree:         uts.MustPreset("T3").Params,
+		Ranks:        16,
+		ChunkSize:    4,
+		Selector:     victim.NewDistanceSkewed,
+		Steal:        StealHalf,
+		Protocol:     OneSided,
+		StealTimeout: 10 * sim.Microsecond,
+		Seed:         29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != want.Nodes || res.Premature {
+		t.Fatalf("composed run wrong: %d nodes (want %d), premature=%v",
+			res.Nodes, want.Nodes, res.Premature)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if TwoSided.String() != "TwoSided" || OneSided.String() != "OneSided" {
+		t.Fatal("protocol names")
+	}
+}
+
+func TestAbortingDeterministic(t *testing.T) {
+	cfg := Config{
+		Tree:         uts.MustPreset("T3").Params,
+		Ranks:        16,
+		ChunkSize:    4,
+		Selector:     victim.NewUniformRandom,
+		StealTimeout: 8 * sim.Microsecond,
+		Seed:         37,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.AbortedSteals != b.AbortedSteals {
+		t.Fatalf("aborting runs not deterministic: %v/%d vs %v/%d",
+			a.Makespan, a.AbortedSteals, b.Makespan, b.AbortedSteals)
+	}
+}

@@ -1,0 +1,170 @@
+package dagws
+
+import (
+	"testing"
+
+	"distws/internal/dag"
+	"distws/internal/sim"
+	"distws/internal/topology"
+	"distws/internal/victim"
+)
+
+func testGraph(t testing.TB, seed uint64) *dag.Graph {
+	t.Helper()
+	g, err := dag.Generate(dag.Params{
+		Seed: seed, Layers: 24, WidthMean: 12, EdgesPerTask: 2,
+		LocalityWindow: 2, CostMean: 20 * sim.Microsecond, DataMean: 8 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{Ranks: 4}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Run(Config{Graph: testGraph(t, 1), Ranks: 0}); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+}
+
+func TestSingleRankExecutesEverything(t *testing.T) {
+	g := testGraph(t, 2)
+	res, err := Run(Config{Graph: g, Ranks: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != g.Len() {
+		t.Fatalf("executed %d of %d tasks", res.Tasks, g.Len())
+	}
+	// One rank, no fetches, no steals: makespan == total cost.
+	if res.Makespan != res.TotalCost {
+		t.Fatalf("makespan %v != total cost %v on one rank", res.Makespan, res.TotalCost)
+	}
+	if res.BytesFetched != 0 || res.Steals != 0 {
+		t.Fatalf("phantom communication: %+v", res)
+	}
+}
+
+func TestParallelCompletesAndRespectsBounds(t *testing.T) {
+	g := testGraph(t, 3)
+	for _, ranks := range []int{2, 8, 32} {
+		res, err := Run(Config{Graph: g, Ranks: ranks, Seed: 7})
+		if err != nil {
+			t.Fatalf("%d ranks: %v", ranks, err)
+		}
+		if res.Makespan < res.CriticalPath {
+			t.Fatalf("%d ranks: makespan %v below critical path %v", ranks, res.Makespan, res.CriticalPath)
+		}
+		if res.Speedup > float64(ranks) {
+			t.Fatalf("%d ranks: speedup %.2f exceeds rank count", ranks, res.Speedup)
+		}
+		if res.Speedup <= 0 {
+			t.Fatalf("%d ranks: no speedup", ranks)
+		}
+	}
+}
+
+func TestDependenciesRespected(t *testing.T) {
+	// A pure chain: no parallelism is possible, and makespan must be
+	// at least the chain cost plus the inter-rank fetch time.
+	g := &dag.Graph{Tasks: make([]dag.Task, 10)}
+	for i := range g.Tasks {
+		g.Tasks[i].ID = int32(i)
+		g.Tasks[i].Layer = int32(i)
+		g.Tasks[i].Cost = 10 * sim.Microsecond
+		g.TotalCost += g.Tasks[i].Cost
+		if i > 0 {
+			g.Tasks[i].Preds = []int32{int32(i - 1)}
+			g.Tasks[i].PredData = []int{1024}
+			g.Tasks[i-1].Succs = []int32{int32(i)}
+			g.TotalBytes += 1024
+		}
+	}
+	g.Roots = []int32{0}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Graph: g, Ranks: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan < g.CriticalPath() {
+		t.Fatalf("chain makespan %v below critical path %v", res.Makespan, g.CriticalPath())
+	}
+	if res.Speedup > 1.01 {
+		t.Fatalf("chain achieved speedup %.2f", res.Speedup)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := testGraph(t, 5)
+	cfg := Config{Graph: g, Ranks: 16, Selector: victim.NewDistanceSkewed, StealHalf: true, Seed: 11}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.BytesFetched != b.BytesFetched || a.Steals != b.Steals {
+		t.Fatalf("same-seed runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestStealingMovesTasks(t *testing.T) {
+	g := testGraph(t, 9)
+	res, err := Run(Config{Graph: g, Ranks: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steals == 0 || res.TasksStolen == 0 {
+		t.Fatalf("no stealing on 16 ranks: %+v", res)
+	}
+	if res.BytesFetched == 0 {
+		t.Fatal("no data fetched despite cross-rank dependencies")
+	}
+	if res.FetchTime == 0 {
+		t.Fatal("fetches cost no time")
+	}
+}
+
+func TestAllSelectorsComplete(t *testing.T) {
+	g := testGraph(t, 13)
+	for name, factory := range victim.Strategies {
+		res, err := Run(Config{Graph: g, Ranks: 8, Selector: factory, Seed: 17})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Tasks != g.Len() {
+			t.Fatalf("%s: incomplete execution", name)
+		}
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	g := testGraph(t, 15)
+	for _, pl := range []topology.Placement{topology.OnePerNode, topology.EightRoundRobin, topology.EightGrouped} {
+		res, err := Run(Config{Graph: g, Ranks: 16, Placement: pl, Seed: 19})
+		if err != nil {
+			t.Fatalf("%v: %v", pl, err)
+		}
+		if res.Speedup <= 0 {
+			t.Fatalf("%v: %+v", pl, res)
+		}
+	}
+}
+
+func BenchmarkDAGSchedule(b *testing.B) {
+	g := testGraph(b, 21)
+	cfg := Config{Graph: g, Ranks: 32, Selector: victim.NewDistanceSkewed, StealHalf: true, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

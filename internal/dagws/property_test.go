@@ -1,0 +1,55 @@
+package dagws
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distws/internal/dag"
+	"distws/internal/sim"
+	"distws/internal/victim"
+)
+
+// TestPropertyScheduleCorrectness generates random small graphs and
+// random scheduler configurations and asserts the invariants every
+// schedule must satisfy: all tasks run, the makespan respects the
+// critical path, and speedup never exceeds the rank count.
+func TestPropertyScheduleCorrectness(t *testing.T) {
+	selectors := []victim.Factory{
+		victim.NewRoundRobin, victim.NewUniformRandom, victim.NewDistanceSkewed,
+	}
+	f := func(gseed uint64, layersRaw, widthRaw, ranksRaw, selRaw uint8, half bool, sseed uint64) bool {
+		g, err := dag.Generate(dag.Params{
+			Seed:   gseed,
+			Layers: int(layersRaw%10) + 1, WidthMean: int(widthRaw%6) + 1,
+			EdgesPerTask: 1.5, LocalityWindow: 2,
+			CostMean: 5 * sim.Microsecond, DataMean: 512,
+		})
+		if err != nil {
+			return false
+		}
+		ranks := int(ranksRaw%12) + 1
+		res, err := Run(Config{
+			Graph: g, Ranks: ranks,
+			Selector:  selectors[int(selRaw)%len(selectors)],
+			StealHalf: half, Seed: sseed,
+		})
+		if err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+		if res.Tasks != g.Len() {
+			return false
+		}
+		if res.Makespan < res.CriticalPath {
+			t.Logf("makespan %v < critical path %v", res.Makespan, res.CriticalPath)
+			return false
+		}
+		if res.Speedup > float64(ranks)+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

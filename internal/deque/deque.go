@@ -1,0 +1,147 @@
+// Package deque implements the Chase–Lev dynamic circular
+// work-stealing deque (SPAA 2005), which the paper's related work cites
+// for its treatment of "lock contention from multiple steals to the
+// same worker" (§VI).
+//
+// One owner pushes and pops at the bottom without locks; any number of
+// thieves steal from the top with a single CAS. The buffer grows
+// automatically. Elements are stored as atomic pointers so the
+// implementation is data-race-free under the Go memory model (verified
+// with the race detector); Go's sequentially consistent atomics are
+// stronger than the fences the original algorithm requires.
+package deque
+
+import (
+	"sync/atomic"
+)
+
+// Status reports the outcome of a Steal.
+type Status uint8
+
+const (
+	// OK: an element was taken.
+	OK Status = iota
+	// Empty: the deque had no elements.
+	Empty
+	// Contended: another thief (or the owner) won a race; retry if
+	// desired. Distinguishing this from Empty preserves the algorithm's
+	// lock-freedom reasoning and lets callers avoid premature give-ups.
+	Contended
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "OK"
+	case Empty:
+		return "Empty"
+	default:
+		return "Contended"
+	}
+}
+
+// ring is one immutable-capacity circular buffer.
+type ring[T any] struct {
+	mask int64
+	buf  []atomic.Pointer[T]
+}
+
+func newRing[T any](capacity int64) *ring[T] {
+	return &ring[T]{mask: capacity - 1, buf: make([]atomic.Pointer[T], capacity)}
+}
+
+func (r *ring[T]) get(i int64) *T    { return r.buf[i&r.mask].Load() }
+func (r *ring[T]) put(i int64, v *T) { r.buf[i&r.mask].Store(v) }
+func (r *ring[T]) capacity() int64   { return r.mask + 1 }
+func (r *ring[T]) grow(b, t int64) *ring[T] {
+	n := newRing[T](2 * r.capacity())
+	for i := t; i < b; i++ {
+		n.put(i, r.get(i))
+	}
+	return n
+}
+
+// Deque is a single-owner, multi-thief work-stealing deque.
+// The zero value is not usable; construct with New.
+type Deque[T any] struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	ring   atomic.Pointer[ring[T]]
+}
+
+// New returns an empty deque with at least the given initial capacity
+// (rounded up to a power of two, minimum 8).
+func New[T any](initial int) *Deque[T] {
+	c := int64(8)
+	for c < int64(initial) {
+		c *= 2
+	}
+	d := &Deque[T]{}
+	d.ring.Store(newRing[T](c))
+	return d
+}
+
+// PushBottom adds v at the bottom. Owner only.
+func (d *Deque[T]) PushBottom(v *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t >= r.capacity()-1 {
+		r = r.grow(b, t)
+		d.ring.Store(r)
+	}
+	r.put(b, v)
+	d.bottom.Store(b + 1)
+}
+
+// PopBottom removes the most recently pushed element. Owner only.
+func (d *Deque[T]) PopBottom() (*T, bool) {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if b < t {
+		// Deque was empty; restore.
+		d.bottom.Store(t)
+		return nil, false
+	}
+	v := r.get(b)
+	if b > t {
+		return v, true
+	}
+	// b == t: racing thieves may take the last element; arbitrate.
+	won := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(t + 1)
+	if !won {
+		return nil, false
+	}
+	return v, true
+}
+
+// Steal removes the oldest element. Safe from any goroutine.
+func (d *Deque[T]) Steal() (*T, Status) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if b <= t {
+		return nil, Empty
+	}
+	r := d.ring.Load()
+	v := r.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, Contended
+	}
+	return v, OK
+}
+
+// Len returns a linearizable-enough size snapshot (exact when quiescent,
+// approximate under concurrency). For statistics and tests.
+func (d *Deque[T]) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Empty reports whether the deque looked empty at the time of the call.
+func (d *Deque[T]) Empty() bool { return d.Len() == 0 }

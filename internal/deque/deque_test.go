@@ -1,0 +1,253 @@
+package deque
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialLIFOForOwner(t *testing.T) {
+	d := New[int](4)
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("pop from empty deque succeeded")
+	}
+	vals := []int{1, 2, 3, 4, 5}
+	for i := range vals {
+		d.PushBottom(&vals[i])
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	for i := 4; i >= 0; i-- {
+		v, ok := d.PopBottom()
+		if !ok || *v != vals[i] {
+			t.Fatalf("popped %v, want %d", v, vals[i])
+		}
+	}
+	if !d.Empty() {
+		t.Fatal("not empty")
+	}
+}
+
+func TestSequentialFIFOForThief(t *testing.T) {
+	d := New[int](4)
+	vals := []int{1, 2, 3}
+	for i := range vals {
+		d.PushBottom(&vals[i])
+	}
+	for i := 0; i < 3; i++ {
+		v, st := d.Steal()
+		if st != OK || *v != vals[i] {
+			t.Fatalf("stole %v/%v, want %d", v, st, vals[i])
+		}
+	}
+	if _, st := d.Steal(); st != Empty {
+		t.Fatalf("steal from empty: %v", st)
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	d := New[int](8)
+	const n = 10000
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d after growth", d.Len())
+	}
+	// Mixed draining: steal half from the top, pop half from the bottom.
+	for i := 0; i < n/2; i++ {
+		if v, st := d.Steal(); st != OK || *v != i {
+			t.Fatalf("steal %d: %v/%v", i, v, st)
+		}
+	}
+	for i := n - 1; i >= n/2; i-- {
+		if v, ok := d.PopBottom(); !ok || *v != i {
+			t.Fatalf("pop %d: %v/%v", i, v, ok)
+		}
+	}
+	if !d.Empty() {
+		t.Fatal("not empty after drain")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if OK.String() != "OK" || Empty.String() != "Empty" || Contended.String() != "Contended" {
+		t.Fatal("status strings")
+	}
+}
+
+// TestConcurrentConservation is the core stress test: one owner
+// pushing/popping and several thieves stealing; every pushed element
+// must be consumed exactly once.
+func TestConcurrentConservation(t *testing.T) {
+	const total = 200000
+	thieves := runtime.GOMAXPROCS(0) + 2
+
+	d := New[int64](8)
+	var produced, consumed atomic.Int64
+	var stop atomic.Bool
+	counts := make([]atomic.Int64, total)
+
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				v, st := d.Steal()
+				if st == OK {
+					counts[*v].Add(1)
+					consumed.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Owner: push everything, interleaving pops.
+	vals := make([]int64, total)
+	for i := int64(0); i < total; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+		produced.Add(1)
+		if i%3 == 0 {
+			if v, ok := d.PopBottom(); ok {
+				counts[*v].Add(1)
+				consumed.Add(1)
+			}
+		}
+	}
+	// Owner drains the rest.
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		counts[*v].Add(1)
+		consumed.Add(1)
+	}
+	// Let thieves finish any in-flight steals, then stop them.
+	for consumed.Load() < produced.Load() {
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if consumed.Load() != total {
+		t.Fatalf("consumed %d of %d", consumed.Load(), total)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("element %d consumed %d times", i, c)
+		}
+	}
+	if !d.Empty() {
+		t.Fatal("deque not empty at the end")
+	}
+}
+
+// TestConcurrentOnlyThieves drains a pre-filled deque with thieves only;
+// each element goes to exactly one thief.
+func TestConcurrentOnlyThieves(t *testing.T) {
+	const total = 100000
+	d := New[int64](8)
+	vals := make([]int64, total)
+	for i := int64(0); i < total; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	var consumed atomic.Int64
+	counts := make([]atomic.Int64, total)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, st := d.Steal()
+				switch st {
+				case OK:
+					counts[*v].Add(1)
+					consumed.Add(1)
+				case Empty:
+					return
+				case Contended:
+					// retry
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if consumed.Load() != total {
+		t.Fatalf("consumed %d of %d", consumed.Load(), total)
+	}
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("element %d consumed %d times", i, counts[i].Load())
+		}
+	}
+}
+
+// Property: any sequence of owner pushes and pops behaves like a slice
+// stack (single-threaded model check).
+func TestPropertyOwnerStackSemantics(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := New[int](2)
+		var model []int
+		vals := make([]int, 0, len(ops))
+		for _, op := range ops {
+			if op%3 != 0 { // push twice as often as pop
+				vals = append(vals, int(op))
+				d.PushBottom(&vals[len(vals)-1])
+				model = append(model, int(op))
+			} else {
+				v, ok := d.PopBottom()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if !ok || *v != want {
+					return false
+				}
+			}
+		}
+		return d.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOwnerPushPop(b *testing.B) {
+	d := New[int](1024)
+	v := 7
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(&v)
+		d.PopBottom()
+	}
+}
+
+func BenchmarkStealContention(b *testing.B) {
+	d := New[int](1 << 20)
+	v := 7
+	for i := 0; i < 1<<20; i++ {
+		d.PushBottom(&v)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, st := d.Steal(); st == Empty {
+				d.PushBottom(&v) // keep it non-empty; owner-unsafe but fine for a throughput probe
+			}
+		}
+	})
+}

@@ -1,0 +1,207 @@
+// Package harness defines the reproduction experiments: one runnable
+// experiment per table and figure of the paper, plus ablations. Each
+// experiment builds a set of simulator configurations, runs them (in
+// parallel across host CPUs — every simulation itself is
+// deterministic and single-threaded), and renders a report with the
+// same rows or series the paper presents, together with machine-checked
+// "shape checks" asserting the paper's qualitative findings.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scale selects experiment fidelity. Scaled-down rank counts and trees
+// keep the default reproduction runnable in minutes; Full approaches
+// the paper's scales where affordable.
+type Scale int
+
+const (
+	// Quick is for tests and smoke runs: small trees, few ranks.
+	Quick Scale = iota
+	// Default regenerates every figure at 1/8 of the paper's rank
+	// counts in minutes.
+	Default
+	// Full pushes to 2048+ simulated ranks with ~40M-node trees; expect
+	// tens of minutes.
+	Full
+)
+
+func (s Scale) String() string {
+	switch s {
+	case Quick:
+		return "quick"
+	case Default:
+		return "default"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// ParseScale converts a flag value to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "quick":
+		return Quick, nil
+	case "default", "":
+		return Default, nil
+	case "full":
+		return Full, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown scale %q (quick|default|full)", s)
+	}
+}
+
+// ShapeCheck is one machine-verified qualitative finding.
+type ShapeCheck struct {
+	// Desc states the paper's claim being checked.
+	Desc string
+	// Pass reports whether this run's data supports it.
+	Pass bool
+	// Detail quantifies the observation.
+	Detail string
+}
+
+// Table is a formatted result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render aligns the table into a string.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID    string
+	Title string
+	// Paper summarizes what the paper's corresponding figure shows.
+	Paper  string
+	Tables []*Table
+	// Plots holds ASCII renderings of the figure's series.
+	Plots []string
+	// Checks are the verified qualitative findings.
+	Checks []ShapeCheck
+	// Notes records scaling decisions or caveats for this run.
+	Notes []string
+}
+
+// Passed reports whether all shape checks succeeded.
+func (r *Report) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the full report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+	b.WriteByte('\n')
+	for _, t := range r.Tables {
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
+	}
+	for _, p := range r.Plots {
+		b.WriteString(p)
+		b.WriteByte('\n')
+	}
+	if len(r.Checks) > 0 {
+		b.WriteString("shape checks:\n")
+		for _, c := range r.Checks {
+			mark := "PASS"
+			if !c.Pass {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(&b, "  [%s] %s", mark, c.Desc)
+			if c.Detail != "" {
+				fmt.Fprintf(&b, " (%s)", c.Detail)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run executes the experiment at the given scale with the given
+	// base seed.
+	Run func(scale Scale, seed uint64) (*Report, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Lookup returns a registered experiment.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns all experiment IDs, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

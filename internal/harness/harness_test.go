@@ -1,0 +1,268 @@
+package harness
+
+import (
+	"bytes"
+
+	"distws/internal/core"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestScaleParsing(t *testing.T) {
+	cases := map[string]Scale{
+		"quick": Quick, "default": Default, "": Default, "full": Full,
+		"QUICK": Quick, "Full": Full,
+	}
+	for in, want := range cases {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("bogus"); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+	for _, s := range []Scale{Quick, Default, Full} {
+		if s.String() == "" || strings.HasPrefix(s.String(), "Scale(") {
+			t.Fatalf("Scale %d has no name", s)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1",
+		"fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+		"fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"ablation-chunk", "ablation-poll", "ablation-selectors",
+		"ablation-term", "ablation-skew", "ablation-backoff",
+		"ablation-protocol", "ablation-aborts", "ablation-jitter", "ext-dag",
+	}
+	for _, id := range want {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		if e.ID != id || e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %q malformed: %+v", id, e)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(IDs()), len(want), IDs())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "long-column") {
+		t.Fatalf("render missing parts:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestReportRenderAndPassed(t *testing.T) {
+	rep := &Report{
+		ID: "x", Title: "t", Paper: "p",
+		Checks: []ShapeCheck{{Desc: "good", Pass: true}, {Desc: "bad", Pass: false, Detail: "d"}},
+		Notes:  []string{"n"},
+	}
+	out := rep.Render()
+	for _, want := range []string{"== x — t ==", "[PASS] good", "[FAIL] bad (d)", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if rep.Passed() {
+		t.Fatal("Passed with a failing check")
+	}
+	rep.Checks = rep.Checks[:1]
+	if !rep.Passed() {
+		t.Fatal("not Passed with all checks green")
+	}
+}
+
+// TestQuickExperiments runs every registered experiment at Quick scale
+// and requires every shape check to pass. This is the repository's
+// end-to-end smoke of the full reproduction pipeline.
+func TestQuickExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take ~a minute")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, _ := Lookup(id)
+			rep, err := e.Run(Quick, 12345)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if rep.ID != id {
+				t.Fatalf("report ID %q for experiment %q", rep.ID, id)
+			}
+			if len(rep.Tables) == 0 && len(rep.Plots) == 0 {
+				t.Fatalf("%s: empty report", id)
+			}
+			out := rep.Render()
+			if len(out) < 50 {
+				t.Fatalf("%s: suspiciously short report:\n%s", id, out)
+			}
+			for _, c := range rep.Checks {
+				if !c.Pass {
+					t.Errorf("%s: shape check failed: %s (%s)", id, c.Desc, c.Detail)
+				}
+			}
+		})
+	}
+}
+
+func TestExecutePropagatesErrors(t *testing.T) {
+	// An invalid run (zero ranks) must surface as an error.
+	_, err := Execute([]Run{{Variant: Reference, Ranks: 0}})
+	if err == nil {
+		t.Fatal("invalid run did not error")
+	}
+}
+
+func TestExecuteOrdersResults(t *testing.T) {
+	tree := fig2Tree(Quick)
+	runs := []Run{
+		{Variant: Reference, Ranks: 4, Tree: tree, NodeCost: experimentNodeCost, Seed: 1},
+		{Variant: Rand, Ranks: 8, Tree: tree, NodeCost: experimentNodeCost, Seed: 1},
+	}
+	outs, err := Execute(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Result.Ranks != 4 || outs[1].Result.Ranks != 8 {
+		t.Fatal("results out of order")
+	}
+	if outs[0].Run.Variant.Name != "Reference" {
+		t.Fatal("run echo wrong")
+	}
+}
+
+func TestReportJSONExport(t *testing.T) {
+	rep := &Report{
+		ID: "fig99", Title: "demo", Paper: "p",
+		Tables: []*Table{{Title: "t", Columns: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}},
+		Checks: []ShapeCheck{{Desc: "d", Pass: true, Detail: "x"}},
+		Notes:  []string{"n"},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if back["id"] != "fig99" || back["passed"] != true {
+		t.Fatalf("round trip: %v", back)
+	}
+	tables := back["tables"].([]any)
+	if len(tables) != 1 {
+		t.Fatalf("tables: %v", tables)
+	}
+}
+
+func TestReportCSVExport(t *testing.T) {
+	rep := &Report{
+		ID: "fig98",
+		Tables: []*Table{
+			{Title: "one", Columns: []string{"x", "y"}, Rows: [][]string{{"1", "a,b"}, {"2", `say "hi"`}}},
+			{Title: "two", Columns: []string{"z"}, Rows: [][]string{{"3"}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# fig98: one") || !strings.Contains(out, "# fig98: two") {
+		t.Fatalf("missing table headers:\n%s", out)
+	}
+	if !strings.Contains(out, `1,"a,b"`) {
+		t.Fatalf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Fatalf("quote cell not escaped:\n%s", out)
+	}
+}
+
+func TestTreeNameResolvesPresets(t *testing.T) {
+	if got := treeName(fig2Tree(Default)); got != "H-EVEN" {
+		t.Fatalf("fig2 default tree name %q", got)
+	}
+	if got := treeName(sweepTree(Default)); got != "H-SWEEP" {
+		t.Fatalf("sweep default tree name %q", got)
+	}
+	custom := sweepTree(Default)
+	custom.RootSeed = 987654
+	if got := treeName(custom); got != "Hybrid" {
+		t.Fatalf("custom tree name %q, want the type name", got)
+	}
+}
+
+func TestScaleParameterTables(t *testing.T) {
+	for _, s := range []Scale{Quick, Default, Full} {
+		ranks := sweepRanks(s)
+		if len(ranks) < 3 {
+			t.Fatalf("%v: sweep ranks %v", s, ranks)
+		}
+		for i := 1; i < len(ranks); i++ {
+			if ranks[i] != 2*ranks[i-1] {
+				t.Fatalf("%v: sweep ranks not doubling: %v", s, ranks)
+			}
+		}
+		if err := sweepTree(s).Validate(); err != nil {
+			t.Fatalf("%v sweep tree: %v", s, err)
+		}
+		if err := fig2Tree(s).Validate(); err != nil {
+			t.Fatalf("%v fig2 tree: %v", s, err)
+		}
+		f2 := fig2Ranks(s)
+		if f2[0] != 8 {
+			t.Fatalf("%v fig2 ranks start at %d", s, f2[0])
+		}
+	}
+}
+
+func TestVariantDefinitions(t *testing.T) {
+	for _, v := range []Variant{Reference, ReferenceHalf, Rand, RandHalf, Tofu, TofuHalf} {
+		if v.Name == "" || v.Selector == nil {
+			t.Fatalf("malformed variant %+v", v)
+		}
+	}
+	if Reference.Steal != core.StealOne || TofuHalf.Steal != core.StealHalf {
+		t.Fatal("steal policies wrong")
+	}
+}
+
+func TestRunConfigDefaults(t *testing.T) {
+	r := Run{Variant: Reference, Ranks: 8, Tree: fig2Tree(Quick), NodeCost: experimentNodeCost}
+	cfg := r.config()
+	if cfg.ChunkSize != ExperimentChunkSize {
+		t.Fatalf("chunk %d", cfg.ChunkSize)
+	}
+	if cfg.BackoffPolicy.Threshold != -1 {
+		t.Fatalf("small runs must disable backoff, got %+v", cfg.BackoffPolicy)
+	}
+	big := Run{Variant: Reference, Ranks: 2048, Tree: fig2Tree(Quick), NodeCost: experimentNodeCost}
+	if big.config().BackoffPolicy.Threshold == -1 {
+		t.Fatal("large runs must keep backoff")
+	}
+	override := Run{Variant: Reference, Ranks: 8, Tree: fig2Tree(Quick), NodeCost: experimentNodeCost,
+		Backoff: core.Backoff{Threshold: 5, Base: 1, Max: 2}}
+	if override.config().BackoffPolicy.Threshold != 5 {
+		t.Fatal("explicit backoff ignored")
+	}
+}

@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"distws/internal/core"
+	"distws/internal/sim"
+	"distws/internal/term"
+	"distws/internal/topology"
+	"distws/internal/uts"
+	"distws/internal/victim"
+)
+
+// Variant names a (selector, steal policy) combination the way the
+// paper does.
+type Variant struct {
+	Name     string
+	Selector victim.Factory
+	Steal    core.StealPolicy
+}
+
+// The paper's variants.
+var (
+	Reference     = Variant{"Reference", victim.NewRoundRobin, core.StealOne}
+	ReferenceHalf = Variant{"Reference Half", victim.NewRoundRobin, core.StealHalf}
+	Rand          = Variant{"Rand", victim.NewUniformRandom, core.StealOne}
+	RandHalf      = Variant{"Rand Half", victim.NewUniformRandom, core.StealHalf}
+	Tofu          = Variant{"Tofu", victim.NewDistanceSkewed, core.StealOne}
+	TofuHalf      = Variant{"Tofu Half", victim.NewDistanceSkewed, core.StealHalf}
+)
+
+// ExperimentChunkSize is the steal granularity used by the scaled
+// experiments: the UTS default of 20 is scaled down to 4 in proportion
+// to the tree sizes (DESIGN.md §2); ablation A1 sweeps it.
+const ExperimentChunkSize = 4
+
+// backoffThresholdRanks is the rank count above which the experiments
+// enable retry backoff to bound simulation cost (DESIGN.md §6).
+const backoffThresholdRanks = 1024
+
+// Run describes one simulation of an experiment grid.
+type Run struct {
+	Label     string
+	Variant   Variant
+	Ranks     int
+	Placement topology.Placement
+	Tree      uts.Params
+	NodeCost  sim.Duration
+	Trace     bool
+	Seed      uint64
+	// ChunkSize overrides ExperimentChunkSize when nonzero.
+	ChunkSize int
+	// PollInterval overrides the default of 1 when nonzero.
+	PollInterval int
+	// Detector overrides the default (Safra) when set.
+	Detector term.Factory
+	// Backoff overrides the scale-based default when non-zero.
+	Backoff core.Backoff
+	// Protocol selects the steal transport (default two-sided).
+	Protocol core.Protocol
+	// StealTimeout enables aborting steals when positive.
+	StealTimeout sim.Duration
+	// Latency overrides the default hierarchical model when set.
+	Latency topology.LatencyModel
+}
+
+// config materializes the core.Config for a run.
+func (r Run) config() core.Config {
+	cs := r.ChunkSize
+	if cs == 0 {
+		cs = ExperimentChunkSize
+	}
+	cfg := core.Config{
+		Tree:         r.Tree,
+		Ranks:        r.Ranks,
+		Placement:    r.Placement,
+		Selector:     r.Variant.Selector,
+		Steal:        r.Variant.Steal,
+		ChunkSize:    cs,
+		PollInterval: r.PollInterval,
+		NodeCost:     r.NodeCost,
+		Seed:         r.Seed,
+		CollectTrace: r.Trace,
+		Detector:     r.Detector,
+		Protocol:     r.Protocol,
+		StealTimeout: r.StealTimeout,
+		Latency:      r.Latency,
+	}
+	switch {
+	case r.Backoff != (core.Backoff{}):
+		cfg.BackoffPolicy = r.Backoff
+	case r.Ranks <= backoffThresholdRanks:
+		cfg.BackoffPolicy = core.Backoff{Threshold: -1}
+	}
+	return cfg
+}
+
+// Outcome pairs a run with its result.
+type Outcome struct {
+	Run    Run
+	Result *core.Result
+}
+
+// Execute runs the grid, parallelizing across host CPUs. Results come
+// back in input order; the first simulation error aborts the batch.
+func Execute(runs []Run) ([]Outcome, error) {
+	out := make([]Outcome, len(runs))
+	errs := make([]error, len(runs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range runs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := core.Run(runs[i].config())
+			if err != nil {
+				errs[i] = fmt.Errorf("harness: run %q (n=%d, %v): %w",
+					runs[i].Variant.Name, runs[i].Ranks, runs[i].Placement, err)
+				return
+			}
+			out[i] = Outcome{Run: runs[i], Result: res}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// sweepRanks returns the rank counts of the paper's large sweeps at
+// each scale. The paper uses 1024-8192; Default is 1/8 of that.
+func sweepRanks(s Scale) []int {
+	switch s {
+	case Quick:
+		return []int{32, 64, 128}
+	case Full:
+		return []int{256, 512, 1024, 2048}
+	default:
+		return []int{128, 256, 512, 1024}
+	}
+}
+
+// sweepTree returns the workload tree for the large sweeps.
+func sweepTree(s Scale) uts.Params {
+	switch s {
+	case Quick:
+		return uts.MustPreset("H-SMALL").Params
+	case Full:
+		return uts.MustPreset("H-FULL").Params
+	default:
+		return uts.MustPreset("H-SWEEP").Params
+	}
+}
+
+// fig2Ranks returns the small-scale rank counts (paper: 8-128).
+func fig2Ranks(s Scale) []int {
+	if s == Quick {
+		return []int{8, 16, 32}
+	}
+	return []int{8, 16, 32, 64, 128}
+}
+
+// fig2Tree returns the workload for the small-scale efficiency and
+// latency studies (Figures 2 and 4). H-EVEN has many shallow binomial
+// subtrees so that, as in the paper's 2.8e9-node runs, per-rank work
+// dwarfs both the distribution ramp and the drain tail.
+func fig2Tree(s Scale) uts.Params {
+	if s == Quick {
+		return uts.MustPreset("H-TINY").Params
+	}
+	return uts.MustPreset("H-EVEN").Params
+}
+
+// placements are the paper's three allocations in presentation order.
+var placements = []topology.Placement{
+	topology.OnePerNode,
+	topology.EightRoundRobin,
+	topology.EightGrouped,
+}
+
+// fmtFloat renders a float compactly for tables.
+func fmtFloat(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// fmtDur renders a virtual duration for tables.
+func fmtDur(d sim.Duration) string { return d.String() }

@@ -1,0 +1,189 @@
+package rt
+
+import (
+	"testing"
+
+	"distws/internal/uts"
+)
+
+func seq(t testing.TB, preset string) uts.CountResult {
+	t.Helper()
+	res, err := uts.CountSequential(uts.MustPreset(preset).Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigValidation(t *testing.T) {
+	tree := uts.MustPreset("T3").Params
+	bad := []Config{
+		{Tree: uts.Params{Type: uts.Binomial, NonLeafBF: 2, NonLeafProb: 0.9}},
+		{Tree: tree, Workers: -1},
+		{Tree: tree, ChunkSize: -2},
+		{Tree: tree, ChunkSize: 10, ReleaseThreshold: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSingleWorkerMatchesSequential(t *testing.T) {
+	want := seq(t, "T3")
+	res, err := Run(Config{Tree: uts.MustPreset("T3").Params, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != want.Nodes || res.Leaves != want.Leaves || res.MaxDepth != want.MaxDepth {
+		t.Fatalf("got %d/%d/%d want %+v", res.Nodes, res.Leaves, res.MaxDepth, want)
+	}
+	if res.Steals != 0 {
+		t.Fatalf("single worker stole %d times", res.Steals)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	want := seq(t, "H-TINY")
+	for _, workers := range []int{2, 4, 8} {
+		for _, sel := range []SelectorKind{RoundRobin, Random, RingSkewed} {
+			for _, half := range []bool{false, true} {
+				res, err := Run(Config{
+					Tree:      uts.MustPreset("H-TINY").Params,
+					Workers:   workers,
+					ChunkSize: 8,
+					Selector:  sel,
+					StealHalf: half,
+					Seed:      42,
+				})
+				if err != nil {
+					t.Fatalf("%d workers %v half=%v: %v", workers, sel, half, err)
+				}
+				if res.Nodes != want.Nodes || res.Leaves != want.Leaves {
+					t.Fatalf("%d workers %v half=%v: %d/%d nodes/leaves, want %d/%d",
+						workers, sel, half, res.Nodes, res.Leaves, want.Nodes, want.Leaves)
+				}
+				if res.MaxDepth != want.MaxDepth {
+					t.Fatalf("depth %d want %d", res.MaxDepth, want.MaxDepth)
+				}
+			}
+		}
+	}
+}
+
+func TestRepeatedRunsAllComplete(t *testing.T) {
+	// Hammer the termination path: many short runs with different
+	// schedules must all count exactly the tree.
+	want := seq(t, "T3")
+	tree := uts.MustPreset("T3").Params
+	for i := 0; i < 30; i++ {
+		res, err := Run(Config{Tree: tree, Workers: 4, ChunkSize: 2, Seed: uint64(i), Selector: Random})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Nodes != want.Nodes {
+			t.Fatalf("run %d counted %d nodes, want %d", i, res.Nodes, want.Nodes)
+		}
+	}
+}
+
+func TestWorkActuallySpreads(t *testing.T) {
+	res, err := Run(Config{
+		Tree:    uts.MustPreset("H-SMALL").Params,
+		Workers: 4, Selector: Random, StealHalf: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steals == 0 {
+		t.Fatal("no steals on a 900k-node tree with 4 workers")
+	}
+	if res.ChunksReleased == 0 {
+		t.Fatal("no chunks released")
+	}
+}
+
+func TestSelectorKindString(t *testing.T) {
+	for k, want := range map[SelectorKind]string{
+		RoundRobin: "RoundRobin", Random: "Random", RingSkewed: "RingSkewed",
+		SelectorKind(9): "SelectorKind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q", uint8(k), got)
+		}
+	}
+}
+
+func TestRingDist(t *testing.T) {
+	cases := []struct{ a, b, n, want int }{
+		{0, 1, 8, 1}, {0, 7, 8, 1}, {0, 4, 8, 4}, {2, 2, 8, 0}, {1, 6, 8, 3},
+	}
+	for _, c := range cases {
+		if got := ringDist(c.a, c.b, c.n); got != c.want {
+			t.Errorf("ringDist(%d,%d,%d) = %d want %d", c.a, c.b, c.n, got, c.want)
+		}
+	}
+}
+
+func BenchmarkTraverseSerial(b *testing.B) {
+	tree := uts.MustPreset("H-TINY").Params
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Tree: tree, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraverseParallel(b *testing.B) {
+	tree := uts.MustPreset("H-TINY").Params
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Tree: tree, Selector: RingSkewed, StealHalf: true, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestChaseLevMatchesSequential(t *testing.T) {
+	want := seq(t, "H-TINY")
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, sel := range []SelectorKind{RoundRobin, Random, RingSkewed} {
+			res, err := Run(Config{
+				Tree:     uts.MustPreset("H-TINY").Params,
+				Workers:  workers,
+				Queue:    ChaseLev,
+				Selector: sel,
+				Seed:     31,
+			})
+			if err != nil {
+				t.Fatalf("%d workers %v: %v", workers, sel, err)
+			}
+			if res.Nodes != want.Nodes || res.Leaves != want.Leaves || res.MaxDepth != want.MaxDepth {
+				t.Fatalf("%d workers %v: %d/%d/%d, want %d/%d/%d", workers, sel,
+					res.Nodes, res.Leaves, res.MaxDepth, want.Nodes, want.Leaves, want.MaxDepth)
+			}
+		}
+	}
+}
+
+func TestChaseLevRepeatedRuns(t *testing.T) {
+	want := seq(t, "T3")
+	tree := uts.MustPreset("T3").Params
+	for i := 0; i < 30; i++ {
+		res, err := Run(Config{Tree: tree, Workers: 4, Queue: ChaseLev, Selector: Random, Seed: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Nodes != want.Nodes {
+			t.Fatalf("run %d counted %d nodes, want %d", i, res.Nodes, want.Nodes)
+		}
+	}
+}
+
+func TestQueueString(t *testing.T) {
+	if Chunked.String() != "Chunked" || ChaseLev.String() != "ChaseLev" {
+		t.Fatal("queue names")
+	}
+}

@@ -1,0 +1,121 @@
+// Package sample implements O(1) sampling from arbitrary discrete
+// probability distributions using Walker's alias method.
+//
+// It replaces the GNU Scientific Library's gsl_ran_discrete, which the
+// paper's modified UTS uses to sample the distance-skewed victim
+// distribution. Construction is O(n); each draw costs one uniform draw
+// and at most two table lookups.
+package sample
+
+import (
+	"errors"
+	"fmt"
+
+	"distws/internal/rng"
+)
+
+// Discrete is a preprocessed discrete distribution over {0, ..., n-1}.
+type Discrete struct {
+	prob  []float64 // acceptance probability of the primary bucket
+	alias []int32   // fallback outcome per bucket
+	pdf   []float64 // normalized input weights, kept for inspection
+}
+
+// Errors returned by NewDiscrete.
+var (
+	ErrNoOutcomes     = errors.New("sample: empty weight vector")
+	ErrNegativeWeight = errors.New("sample: negative weight")
+	ErrZeroMass       = errors.New("sample: all weights are zero")
+)
+
+// NewDiscrete builds an alias table from non-negative weights. Weights
+// need not be normalized. At least one weight must be positive.
+func NewDiscrete(weights []float64) (*Discrete, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrNoOutcomes
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("%w: weight[%d] = %v", ErrNegativeWeight, i, w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, ErrZeroMass
+	}
+
+	d := &Discrete{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+		pdf:   make([]float64, n),
+	}
+	// Scale so the average bucket mass is exactly 1.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		p := w / total
+		d.pdf[i] = p
+		scaled[i] = p * float64(n)
+	}
+
+	// Vose's stable two-worklist construction.
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		d.prob[s] = scaled[s]
+		d.alias[s] = l
+		scaled[l] = (scaled[l] + scaled[s]) - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Whatever remains should have mass 1 up to floating-point error.
+	for _, l := range large {
+		d.prob[l] = 1
+		d.alias[l] = l
+	}
+	for _, s := range small {
+		d.prob[s] = 1
+		d.alias[s] = s
+	}
+	return d, nil
+}
+
+// MustNewDiscrete is like NewDiscrete but panics on error. For use with
+// weight vectors known to be valid by construction.
+func MustNewDiscrete(weights []float64) *Discrete {
+	d, err := NewDiscrete(weights)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// N returns the number of outcomes.
+func (d *Discrete) N() int { return len(d.prob) }
+
+// PDF returns the normalized probability of outcome i.
+func (d *Discrete) PDF(i int) float64 { return d.pdf[i] }
+
+// Sample draws one outcome using the given generator.
+func (d *Discrete) Sample(r *rng.Xoshiro256) int {
+	i := r.Intn(len(d.prob))
+	if r.Float64() < d.prob[i] {
+		return i
+	}
+	return int(d.alias[i])
+}

@@ -1,0 +1,230 @@
+package sample
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"distws/internal/rng"
+)
+
+func TestErrors(t *testing.T) {
+	if _, err := NewDiscrete(nil); !errors.Is(err, ErrNoOutcomes) {
+		t.Fatalf("nil weights: %v", err)
+	}
+	if _, err := NewDiscrete([]float64{1, -2, 3}); !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("negative weight: %v", err)
+	}
+	if _, err := NewDiscrete([]float64{0, 0}); !errors.Is(err, ErrZeroMass) {
+		t.Fatalf("zero mass: %v", err)
+	}
+}
+
+func TestMustNewDiscretePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewDiscrete did not panic on bad input")
+		}
+	}()
+	MustNewDiscrete(nil)
+}
+
+func TestSingleOutcome(t *testing.T) {
+	d := MustNewDiscrete([]float64{3.7})
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if d.Sample(r) != 0 {
+			t.Fatal("single-outcome distribution sampled non-zero")
+		}
+	}
+	if d.PDF(0) != 1 {
+		t.Fatalf("PDF(0) = %v", d.PDF(0))
+	}
+}
+
+func TestZeroWeightNeverSampled(t *testing.T) {
+	d := MustNewDiscrete([]float64{1, 0, 1, 0, 1})
+	r := rng.New(2)
+	for i := 0; i < 100000; i++ {
+		v := d.Sample(r)
+		if v == 1 || v == 3 {
+			t.Fatalf("sampled zero-weight outcome %d", v)
+		}
+	}
+}
+
+func TestUniformCase(t *testing.T) {
+	const n = 8
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 2.5
+	}
+	d := MustNewDiscrete(w)
+	for i := 0; i < n; i++ {
+		if math.Abs(d.PDF(i)-1.0/n) > 1e-12 {
+			t.Fatalf("PDF(%d) = %v", i, d.PDF(i))
+		}
+	}
+	counts := sampleCounts(d, 80000, 3)
+	for i, c := range counts {
+		if math.Abs(float64(c)/80000-1.0/n) > 0.01 {
+			t.Fatalf("outcome %d frequency %v, want ~%v", i, float64(c)/80000, 1.0/n)
+		}
+	}
+}
+
+func TestSkewedFrequencies(t *testing.T) {
+	w := []float64{1, 2, 3, 4}
+	d := MustNewDiscrete(w)
+	const n = 400000
+	counts := sampleCounts(d, n, 4)
+	for i, c := range counts {
+		want := w[i] / 10
+		got := float64(c) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("outcome %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func sampleCounts(d *Discrete, n int, seed uint64) []int {
+	r := rng.New(seed)
+	counts := make([]int, d.N())
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	return counts
+}
+
+// Property: construction succeeds for any positive weight vector and
+// samples stay in range; PDF sums to 1.
+func TestPropertyValidConstruction(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		anyPositive := false
+		for i, v := range raw {
+			w[i] = float64(v)
+			if v > 0 {
+				anyPositive = true
+			}
+		}
+		d, err := NewDiscrete(w)
+		if !anyPositive {
+			return errors.Is(err, ErrZeroMass)
+		}
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for i := 0; i < d.N(); i++ {
+			sum += d.PDF(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		r := rng.New(99)
+		for i := 0; i < 200; i++ {
+			v := d.Sample(r)
+			if v < 0 || v >= len(w) || w[v] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: empirical frequencies track the PDF for random weights
+// (coarse bound, large samples on small supports).
+func TestPropertyFrequenciesTrackPDF(t *testing.T) {
+	f := func(raw [5]uint8, seed uint64) bool {
+		w := make([]float64, 5)
+		anyPositive := false
+		for i, v := range raw {
+			w[i] = float64(v)
+			if v > 0 {
+				anyPositive = true
+			}
+		}
+		if !anyPositive {
+			return true
+		}
+		d := MustNewDiscrete(w)
+		const n = 50000
+		r := rng.New(seed)
+		counts := make([]int, 5)
+		for i := 0; i < n; i++ {
+			counts[d.Sample(r)]++
+		}
+		for i := range w {
+			if math.Abs(float64(counts[i])/n-d.PDF(i)) > 0.02 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSupport(t *testing.T) {
+	// Mimic the paper's use: 8192 ranks with 1/distance weights.
+	const n = 8192
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(1+i%37)
+	}
+	d := MustNewDiscrete(w)
+	r := rng.New(5)
+	counts := make([]int, n)
+	for i := 0; i < 1_000_000; i++ {
+		counts[d.Sample(r)]++
+	}
+	// Aggregate by weight class to get statistically meaningful bins.
+	classTotal := map[int]float64{}
+	classCount := map[int]int{}
+	for i := range w {
+		classTotal[i%37] += d.PDF(i)
+		classCount[i%37] += counts[i]
+	}
+	for class, p := range classTotal {
+		got := float64(classCount[class]) / 1_000_000
+		if math.Abs(got-p) > 0.005 {
+			t.Fatalf("class %d frequency %v, want %v", class, got, p)
+		}
+	}
+}
+
+func BenchmarkSample8192(b *testing.B) {
+	w := make([]float64, 8192)
+	for i := range w {
+		w[i] = 1 / float64(1+i)
+	}
+	d := MustNewDiscrete(w)
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += d.Sample(r)
+	}
+	_ = sink
+}
+
+func BenchmarkBuild8192(b *testing.B) {
+	w := make([]float64, 8192)
+	for i := range w {
+		w[i] = 1 / float64(1+i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MustNewDiscrete(w)
+	}
+}

@@ -1,0 +1,250 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same virtual time are dispatched in the order
+// they were scheduled (FIFO tie-breaking via a monotonically increasing
+// sequence number), which makes every simulation a pure function of its
+// inputs: the same schedule of events always produces the same execution.
+//
+// The kernel is single-threaded by design. Simulating thousands of
+// communicating ranks with goroutines would serialize on channel
+// operations and lose determinism; instead each simulated entity is an
+// event-driven state machine and the harness parallelizes across
+// independent simulations.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual timestamp.
+const MaxTime = Time(math.MaxInt64)
+
+// Add returns the timestamp d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds converts a virtual duration to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Seconds converts a virtual timestamp to floating-point seconds since start.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (d Duration) String() string {
+	switch {
+	case d == 0:
+		return "0s"
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/1e3)
+	case d < Second:
+		return fmt.Sprintf("%.3fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%.6fs", float64(d)/1e9)
+	}
+}
+
+// Event is a scheduled callback. The callback runs with the kernel clock
+// set to the event's timestamp.
+type Event struct {
+	when Time
+	seq  uint64
+	fn   func()
+	// index in the heap, or -1 when not queued. Maintained by eventHeap.
+	index int
+	// cancelled events stay in the heap but are skipped on dispatch;
+	// this avoids O(n) removal.
+	cancelled bool
+}
+
+// When returns the virtual time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine.
+//
+// The zero value is not usable; construct with NewKernel.
+type Kernel struct {
+	now        Time
+	queue      eventHeap
+	seq        uint64
+	dispatched uint64
+	running    bool
+	stopped    bool
+	// Limit guards against runaway simulations. Zero means no limit.
+	maxEvents uint64
+	maxTime   Time
+}
+
+// NewKernel returns a kernel with the clock at zero and an empty queue.
+func NewKernel() *Kernel {
+	return &Kernel{maxTime: MaxTime}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Dispatched returns the number of events executed so far.
+func (k *Kernel) Dispatched() uint64 { return k.dispatched }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled events that have not yet been skipped.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// SetEventLimit bounds the total number of dispatched events. Run returns
+// ErrEventLimit once the limit is exceeded. Zero disables the limit.
+func (k *Kernel) SetEventLimit(n uint64) { k.maxEvents = n }
+
+// SetTimeLimit bounds the virtual clock. Run returns ErrTimeLimit if an
+// event beyond the deadline would be dispatched.
+func (k *Kernel) SetTimeLimit(t Time) { k.maxTime = t }
+
+// Errors reported by Run.
+var (
+	ErrEventLimit = errors.New("sim: event limit exceeded")
+	ErrTimeLimit  = errors.New("sim: virtual time limit exceeded")
+	ErrReentrant  = errors.New("sim: Run called reentrantly")
+)
+
+// At schedules fn to run at the absolute virtual time t. Scheduling in
+// the past (t < Now) is a programming error and panics: in a
+// discrete-event simulation causality violations are bugs, not
+// recoverable conditions.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
+	}
+	e := &Event{when: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (k *Kernel) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Cancel marks an event so it will be skipped when its time comes.
+// Cancelling an already-dispatched or already-cancelled event is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e != nil {
+		e.cancelled = true
+		e.fn = nil
+	}
+}
+
+// Stop makes Run return after the currently executing event completes.
+// Pending events remain queued.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run dispatches events in virtual-time order until the queue is empty,
+// Stop is called, or a limit is exceeded. It returns nil on normal
+// completion (queue drained or stopped).
+func (k *Kernel) Run() error {
+	if k.running {
+		return ErrReentrant
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+
+	for len(k.queue) > 0 && !k.stopped {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		if e.when > k.maxTime {
+			// Push back so state remains inspectable.
+			heap.Push(&k.queue, e)
+			return ErrTimeLimit
+		}
+		k.now = e.when
+		k.dispatched++
+		if k.maxEvents != 0 && k.dispatched > k.maxEvents {
+			heap.Push(&k.queue, e)
+			k.dispatched--
+			return ErrEventLimit
+		}
+		fn := e.fn
+		e.fn = nil
+		fn()
+	}
+	return nil
+}
+
+// Step dispatches the next non-cancelled event, if any, and reports
+// whether one was dispatched. Useful in tests for lock-step inspection.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		k.now = e.when
+		k.dispatched++
+		fn := e.fn
+		e.fn = nil
+		fn()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+// Package stats provides the small descriptive-statistics helpers the
+// experiment harness reports with.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Sum returns the sum of xs using Kahan compensation.
+func Sum(xs []float64) float64 {
+	var sum, c float64
+	for _, x := range xs {
+		y := x - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Stddev returns the sample standard deviation (n-1 denominator), or 0
+// when fewer than two values are given.
+func Stddev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min returns the smallest value, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice
+// or out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Histogram bins xs into n equal-width buckets over [min, max] and
+// returns the counts. Values exactly at max land in the last bucket.
+func Histogram(xs []float64, n int, min, max float64) []int {
+	if n <= 0 || max <= min {
+		return nil
+	}
+	counts := make([]int, n)
+	width := (max - min) / float64(n)
+	for _, x := range xs {
+		if x < min || x > max {
+			continue
+		}
+		b := int((x - min) / width)
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return counts
+}

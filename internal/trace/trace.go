@@ -1,0 +1,390 @@
+// Package trace implements the lightweight scheduler activity trace the
+// paper's scheduling-latency metric is computed from (§III).
+//
+// A rank is *active* while its stack contains work — including the time
+// it spends answering steal requests in between node expansions — and
+// *idle* otherwise. The trace records only the transitions between the
+// two states ("the trace only contains a time and the new state at each
+// phase transition, so it is lightweight"), plus the work-discovery
+// sessions used by Figure 10.
+//
+// The paper corrects its traces for clock skew across nodes; a
+// simulator has a perfectly synchronized clock, but the same machinery
+// is provided (skew injection and correction) so the methodology can be
+// validated end to end.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"distws/internal/rng"
+	"distws/internal/sim"
+)
+
+// State is a rank's scheduling state.
+type State uint8
+
+// The two phases of the paper's activity model.
+const (
+	Idle State = iota
+	Active
+)
+
+func (s State) String() string {
+	if s == Active {
+		return "active"
+	}
+	return "idle"
+}
+
+// Transition is one phase change of one rank.
+type Transition struct {
+	Time  sim.Time
+	State State
+}
+
+// Session is one work-discovery session: the span from a rank
+// exhausting its work to it having work again (or the application
+// terminating). Figure 10 reports the average duration of these.
+type Session struct {
+	Start, End sim.Time
+	// Attempts is the number of steal requests sent during the session.
+	Attempts int
+	// Failed counts the attempts answered negatively.
+	Failed int
+	// Success is false for the final session ended by termination.
+	Success bool
+}
+
+// Duration returns the session length.
+func (s Session) Duration() sim.Duration { return s.End.Sub(s.Start) }
+
+// Trace is a complete recorded execution.
+type Trace struct {
+	// End is the application makespan (virtual time of termination).
+	End sim.Time
+	// Transitions per rank, time-ordered, states alternating.
+	Transitions [][]Transition
+	// Sessions per rank, time-ordered.
+	Sessions [][]Session
+}
+
+// Ranks returns the number of ranks in the trace.
+func (t *Trace) Ranks() int { return len(t.Transitions) }
+
+// Recorder accumulates a Trace during a run. All methods must be called
+// with non-decreasing timestamps per rank (the simulator guarantees
+// this); consecutive same-state records are deduplicated.
+type Recorder struct {
+	transitions [][]Transition
+	sessions    [][]Session
+	open        []Session // currently open session per rank, Start >= 0
+	hasOpen     []bool
+}
+
+// NewRecorder returns a recorder for n ranks. All ranks start Idle at
+// time 0 implicitly; the first Active record creates the first
+// transition.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{
+		transitions: make([][]Transition, n),
+		sessions:    make([][]Session, n),
+		open:        make([]Session, n),
+		hasOpen:     make([]bool, n),
+	}
+}
+
+// Record notes that rank entered state s at time t. Recording the
+// state the rank is already in is a no-op.
+func (r *Recorder) Record(rank int, t sim.Time, s State) {
+	tr := r.transitions[rank]
+	if len(tr) == 0 {
+		if s == Idle {
+			return // ranks start idle
+		}
+	} else if tr[len(tr)-1].State == s {
+		return
+	}
+	r.transitions[rank] = append(tr, Transition{Time: t, State: s})
+}
+
+// BeginSession opens a work-discovery session for rank at time t.
+// A session already open for the rank is a programming error.
+func (r *Recorder) BeginSession(rank int, t sim.Time) {
+	if r.hasOpen[rank] {
+		panic(fmt.Sprintf("trace: rank %d already has an open session", rank))
+	}
+	r.open[rank] = Session{Start: t}
+	r.hasOpen[rank] = true
+}
+
+// SessionAttempt counts one steal request in rank's open session.
+func (r *Recorder) SessionAttempt(rank int, failed bool) {
+	if !r.hasOpen[rank] {
+		return
+	}
+	r.open[rank].Attempts++
+	if failed {
+		r.open[rank].Failed++
+	}
+}
+
+// EndSession closes rank's open session at time t. success records
+// whether the session ended with work (true) or with termination.
+func (r *Recorder) EndSession(rank int, t sim.Time, success bool) {
+	if !r.hasOpen[rank] {
+		return
+	}
+	s := r.open[rank]
+	s.End = t
+	s.Success = success
+	r.sessions[rank] = append(r.sessions[rank], s)
+	r.hasOpen[rank] = false
+}
+
+// Finish closes any open sessions at end and returns the trace.
+func (r *Recorder) Finish(end sim.Time) *Trace {
+	for rank := range r.open {
+		if r.hasOpen[rank] {
+			r.EndSession(rank, end, false)
+		}
+	}
+	return &Trace{
+		End:         end,
+		Transitions: r.transitions,
+		Sessions:    r.sessions,
+	}
+}
+
+// Validate checks the structural invariants of a trace: per-rank
+// transitions strictly alternate states with non-decreasing times and
+// sessions nest within idle phases' bounds.
+func (t *Trace) Validate() error {
+	for rank, trs := range t.Transitions {
+		for i, tr := range trs {
+			if tr.Time < 0 || tr.Time > t.End {
+				return fmt.Errorf("trace: rank %d transition %d at %d outside [0, %d]", rank, i, tr.Time, t.End)
+			}
+			if i > 0 {
+				if trs[i-1].Time > tr.Time {
+					return fmt.Errorf("trace: rank %d transitions out of order at %d", rank, i)
+				}
+				if trs[i-1].State == tr.State {
+					return fmt.Errorf("trace: rank %d repeated state at %d", rank, i)
+				}
+			}
+		}
+		if len(trs) > 0 && trs[0].State != Active {
+			return fmt.Errorf("trace: rank %d first transition is %v, want active", rank, trs[0].State)
+		}
+	}
+	for rank, ss := range t.Sessions {
+		for i, s := range ss {
+			if s.End < s.Start {
+				return fmt.Errorf("trace: rank %d session %d ends before it starts", rank, i)
+			}
+			if s.Failed > s.Attempts {
+				return fmt.Errorf("trace: rank %d session %d failed %d > attempts %d", rank, i, s.Failed, s.Attempts)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalSessions returns the number of recorded sessions across ranks.
+func (t *Trace) TotalSessions() int {
+	n := 0
+	for _, ss := range t.Sessions {
+		n += len(ss)
+	}
+	return n
+}
+
+// MeanSessionDuration returns the average work-discovery session
+// length across all ranks (Figure 10's metric), and false when there
+// are no sessions.
+func (t *Trace) MeanSessionDuration() (sim.Duration, bool) {
+	var sum sim.Duration
+	n := 0
+	for _, ss := range t.Sessions {
+		for _, s := range ss {
+			sum += s.Duration()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / sim.Duration(n), true
+}
+
+// ---------------------------------------------------------------------
+// Clock skew
+
+// InjectSkew returns a copy of the trace with every rank's timestamps
+// shifted by a random per-rank offset in [-maxSkew, +maxSkew], clamped
+// to [0, End]. This emulates unsynchronized node clocks so the
+// correction path (paper §III: "the trace modified to account for clock
+// skew") can be tested. The returned offsets can undo the injection via
+// CorrectSkew.
+func (t *Trace) InjectSkew(seed uint64, maxSkew sim.Duration) (*Trace, []sim.Duration) {
+	r := rng.New(seed)
+	offsets := make([]sim.Duration, t.Ranks())
+	for i := range offsets {
+		offsets[i] = sim.Duration(r.Intn(int(2*maxSkew+1))) - maxSkew
+	}
+	return t.shift(offsets, true), offsets
+}
+
+// CorrectSkew returns a copy of the trace with each rank's known clock
+// offset subtracted, restoring a common timebase.
+func (t *Trace) CorrectSkew(offsets []sim.Duration) *Trace {
+	neg := make([]sim.Duration, len(offsets))
+	for i, o := range offsets {
+		neg[i] = -o
+	}
+	return t.shift(neg, false)
+}
+
+func (t *Trace) shift(offsets []sim.Duration, clamp bool) *Trace {
+	out := &Trace{
+		End:         t.End,
+		Transitions: make([][]Transition, t.Ranks()),
+		Sessions:    make([][]Session, t.Ranks()),
+	}
+	adj := func(rank int, ts sim.Time) sim.Time {
+		v := ts.Add(offsets[rank])
+		if clamp {
+			if v < 0 {
+				v = 0
+			}
+			if v > t.End {
+				v = t.End
+			}
+		}
+		return v
+	}
+	for rank, trs := range t.Transitions {
+		if trs == nil {
+			continue
+		}
+		ns := make([]Transition, len(trs))
+		for i, tr := range trs {
+			ns[i] = Transition{Time: adj(rank, tr.Time), State: tr.State}
+		}
+		out.Transitions[rank] = ns
+	}
+	for rank, ss := range t.Sessions {
+		if ss == nil {
+			continue
+		}
+		ncopy := make([]Session, len(ss))
+		for i, s := range ss {
+			s.Start = adj(rank, s.Start)
+			s.End = adj(rank, s.End)
+			ncopy[i] = s
+		}
+		out.Sessions[rank] = ncopy
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// JSONL serialization
+
+// jsonRecord is the wire form of one trace line.
+type jsonRecord struct {
+	Kind  string   `json:"kind"` // "meta", "transition" or "session"
+	Rank  int      `json:"rank,omitempty"`
+	Time  sim.Time `json:"t,omitempty"`
+	State string   `json:"state,omitempty"`
+	End   sim.Time `json:"end,omitempty"`
+	// Session fields.
+	Start    sim.Time `json:"start,omitempty"`
+	Attempts int      `json:"attempts,omitempty"`
+	Failed   int      `json:"failed,omitempty"`
+	Success  bool     `json:"success,omitempty"`
+	Ranks    int      `json:"ranks,omitempty"`
+}
+
+// WriteJSONL serializes the trace as JSON Lines: a meta record followed
+// by transition and session records.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonRecord{Kind: "meta", Ranks: t.Ranks(), End: t.End}); err != nil {
+		return err
+	}
+	for rank, trs := range t.Transitions {
+		for _, tr := range trs {
+			if err := enc.Encode(jsonRecord{Kind: "transition", Rank: rank, Time: tr.Time, State: tr.State.String()}); err != nil {
+				return err
+			}
+		}
+	}
+	for rank, ss := range t.Sessions {
+		for _, s := range ss {
+			if err := enc.Encode(jsonRecord{
+				Kind: "session", Rank: rank,
+				Start: s.Start, End: s.End,
+				Attempts: s.Attempts, Failed: s.Failed, Success: s.Success,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace previously written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	var meta jsonRecord
+	if err := dec.Decode(&meta); err != nil {
+		return nil, fmt.Errorf("trace: reading meta record: %w", err)
+	}
+	if meta.Kind != "meta" || meta.Ranks <= 0 {
+		return nil, fmt.Errorf("trace: malformed meta record %+v", meta)
+	}
+	t := &Trace{
+		End:         meta.End,
+		Transitions: make([][]Transition, meta.Ranks),
+		Sessions:    make([][]Session, meta.Ranks),
+	}
+	for {
+		var rec jsonRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: reading record: %w", err)
+		}
+		if rec.Rank < 0 || rec.Rank >= meta.Ranks {
+			return nil, fmt.Errorf("trace: record for invalid rank %d", rec.Rank)
+		}
+		switch rec.Kind {
+		case "transition":
+			st := Idle
+			if rec.State == "active" {
+				st = Active
+			}
+			t.Transitions[rec.Rank] = append(t.Transitions[rec.Rank], Transition{Time: rec.Time, State: st})
+		case "session":
+			t.Sessions[rec.Rank] = append(t.Sessions[rec.Rank], Session{
+				Start: rec.Start, End: rec.End,
+				Attempts: rec.Attempts, Failed: rec.Failed, Success: rec.Success,
+			})
+		default:
+			return nil, fmt.Errorf("trace: unknown record kind %q", rec.Kind)
+		}
+	}
+	for rank := range t.Transitions {
+		sort.SliceStable(t.Transitions[rank], func(a, b int) bool {
+			return t.Transitions[rank][a].Time < t.Transitions[rank][b].Time
+		})
+	}
+	return t, nil
+}

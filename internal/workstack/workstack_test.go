@@ -1,0 +1,364 @@
+package workstack
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"distws/internal/uts"
+)
+
+// node returns a distinguishable test node.
+func node(id uint32) uts.Node {
+	var n uts.Node
+	binary.BigEndian.PutUint32(n.State[:4], id)
+	n.Height = int32(id % 7)
+	return n
+}
+
+func TestNewPanicsOnBadChunkSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for chunk size 0")
+		}
+	}()
+	New(0)
+}
+
+func TestLIFO(t *testing.T) {
+	s := New(3)
+	for i := uint32(0); i < 10; i++ {
+		s.Push(node(i))
+	}
+	for i := int32(9); i >= 0; i-- {
+		n, ok := s.Pop()
+		if !ok {
+			t.Fatalf("Pop failed at %d", i)
+		}
+		if got := binary.BigEndian.Uint32(n.State[:4]); got != uint32(i) {
+			t.Fatalf("popped %d, want %d", got, i)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop on empty stack succeeded")
+	}
+	if !s.Empty() {
+		t.Fatal("stack not empty")
+	}
+}
+
+func TestLenAndChunks(t *testing.T) {
+	s := New(4)
+	if s.Len() != 0 || s.Chunks() != 0 || !s.Empty() {
+		t.Fatal("fresh stack not empty")
+	}
+	for i := uint32(0); i < 9; i++ {
+		s.Push(node(i))
+	}
+	if s.Len() != 9 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Chunks() != 3 { // 4 + 4 + 1
+		t.Fatalf("Chunks = %d", s.Chunks())
+	}
+	s.Pop()
+	if s.Len() != 8 || s.Chunks() != 2 {
+		t.Fatalf("after pop: len %d chunks %d", s.Len(), s.Chunks())
+	}
+}
+
+func TestPrivateChunkRule(t *testing.T) {
+	s := New(5)
+	// A single incomplete chunk: nothing stealable (paper §II-A).
+	for i := uint32(0); i < 4; i++ {
+		s.Push(node(i))
+	}
+	if s.StealableChunks() != 0 {
+		t.Fatal("incomplete private chunk marked stealable")
+	}
+	if got, k := s.StealOne(); got != nil || k != 0 {
+		t.Fatal("stole from private chunk")
+	}
+	// Exactly one full chunk: still private (it is the top).
+	s.Push(node(4))
+	if s.StealableChunks() != 0 {
+		t.Fatal("single full chunk stealable")
+	}
+	// Second chunk opens: the bottom full chunk becomes stealable.
+	s.Push(node(5))
+	if s.StealableChunks() != 1 {
+		t.Fatalf("StealableChunks = %d, want 1", s.StealableChunks())
+	}
+}
+
+func TestStealOneTakesOldest(t *testing.T) {
+	s := New(3)
+	for i := uint32(0); i < 10; i++ {
+		s.Push(node(i))
+	}
+	// Chunks: [0 1 2][3 4 5][6 7 8][9] — bottom chunk is 0,1,2.
+	got, k := s.StealOne()
+	if k != 1 || len(got) != 3 {
+		t.Fatalf("stole %d chunks, %d nodes", k, len(got))
+	}
+	for i, n := range got {
+		if id := binary.BigEndian.Uint32(n.State[:4]); id != uint32(i) {
+			t.Fatalf("stolen node %d has id %d", i, id)
+		}
+	}
+	if s.Len() != 7 {
+		t.Fatalf("victim kept %d nodes, want 7", s.Len())
+	}
+	// Owner's pop order unaffected for remaining nodes.
+	n, _ := s.Pop()
+	if id := binary.BigEndian.Uint32(n.State[:4]); id != 9 {
+		t.Fatalf("owner popped %d, want 9", id)
+	}
+}
+
+func TestStealHalfRoundsUp(t *testing.T) {
+	cases := []struct {
+		chunks     int // full chunks to create (plus a partial top)
+		wantStolen int
+	}{
+		{1, 1}, // stealable 1 -> take 1
+		{2, 1},
+		{3, 2},
+		{4, 2},
+		{5, 3},
+		{7, 4},
+	}
+	for _, c := range cases {
+		s := New(2)
+		// c.chunks full chunks plus one extra node as private top.
+		for i := uint32(0); i < uint32(c.chunks*2+1); i++ {
+			s.Push(node(i))
+		}
+		if s.StealableChunks() != c.chunks {
+			t.Fatalf("setup: stealable = %d, want %d", s.StealableChunks(), c.chunks)
+		}
+		_, k := s.StealHalf()
+		if k != c.wantStolen {
+			t.Fatalf("%d stealable: StealHalf took %d, want %d", c.chunks, k, c.wantStolen)
+		}
+	}
+}
+
+func TestStealMoreThanAvailable(t *testing.T) {
+	s := New(2)
+	for i := uint32(0); i < 7; i++ { // 3 full chunks + top
+		s.Push(node(i))
+	}
+	got, k := s.Steal(100)
+	if k != 3 || len(got) != 6 {
+		t.Fatalf("Steal(100) took %d chunks, %d nodes", k, len(got))
+	}
+	if s.Len() != 1 {
+		t.Fatalf("victim kept %d nodes", s.Len())
+	}
+}
+
+func TestAcquire(t *testing.T) {
+	victim := New(3)
+	for i := uint32(0); i < 9; i++ {
+		victim.Push(node(i))
+	}
+	thief := New(3)
+	loot, k := victim.StealOne()
+	thief.Acquire(loot)
+	if k != 1 || thief.Len() != 3 {
+		t.Fatalf("thief has %d nodes after acquiring %d chunks", thief.Len(), k)
+	}
+	// Thief pops the newest of the stolen nodes first.
+	n, _ := thief.Pop()
+	if id := binary.BigEndian.Uint32(n.State[:4]); id != 2 {
+		t.Fatalf("thief popped %d, want 2", id)
+	}
+	st := thief.Stats()
+	if st.ChunksAcquired != 1 {
+		t.Fatalf("ChunksAcquired = %d", st.ChunksAcquired)
+	}
+	if victim.Stats().ChunksReleased != 1 {
+		t.Fatalf("ChunksReleased = %d", victim.Stats().ChunksReleased)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New(2)
+	for i := uint32(0); i < 5; i++ {
+		s.Push(node(i))
+	}
+	s.Pop()
+	s.Pop()
+	st := s.Stats()
+	if st.Pushes != 5 || st.Pops != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MaxNodesResident != 5 {
+		t.Fatalf("MaxNodesResident = %d", st.MaxNodesResident)
+	}
+}
+
+func TestChunkRecycling(t *testing.T) {
+	// Push/pop churn should reuse chunk buffers, not grow the free list
+	// unboundedly.
+	s := New(8)
+	for round := 0; round < 100; round++ {
+		for i := uint32(0); i < 64; i++ {
+			s.Push(node(i))
+		}
+		for i := 0; i < 64; i++ {
+			s.Pop()
+		}
+	}
+	if len(s.free) > 32 {
+		t.Fatalf("free list grew to %d", len(s.free))
+	}
+	if !s.Empty() {
+		t.Fatal("stack not empty after churn")
+	}
+}
+
+// Property: for any sequence of pushes, a full steal+acquire round trip
+// preserves the multiset of nodes and total count.
+func TestPropertyStealPreservesNodes(t *testing.T) {
+	f := func(ids []uint32, chunkSize uint8, half bool) bool {
+		cs := int(chunkSize%16) + 1
+		victim := New(cs)
+		want := map[[20]byte]int{}
+		for _, id := range ids {
+			n := node(id)
+			victim.Push(n)
+			want[n.State]++
+		}
+		thief := New(cs)
+		var loot []uts.Node
+		if half {
+			loot, _ = victim.StealHalf()
+		} else {
+			loot, _ = victim.StealOne()
+		}
+		thief.Acquire(loot)
+
+		got := map[[20]byte]int{}
+		total := 0
+		for _, s := range []*Stack{victim, thief} {
+			for {
+				n, ok := s.Pop()
+				if !ok {
+					break
+				}
+				got[n.State]++
+				total++
+			}
+		}
+		if total != len(ids) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: StealableChunks == max(0, Chunks-1) and steals never touch
+// the top chunk's nodes.
+func TestPropertyStealableCount(t *testing.T) {
+	f := func(n uint16, chunkSize uint8) bool {
+		cs := int(chunkSize%16) + 1
+		s := New(cs)
+		for i := uint32(0); i < uint32(n); i++ {
+			s.Push(node(i))
+		}
+		want := s.Chunks() - 1
+		if want < 0 {
+			want = 0
+		}
+		return s.StealableChunks() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	s := New(DefaultChunkSize)
+	n := node(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Push(n)
+		s.Push(n)
+		s.Pop()
+		s.Pop()
+	}
+}
+
+func BenchmarkStealHalf(b *testing.B) {
+	s := New(DefaultChunkSize)
+	n := node(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 200; j++ {
+			s.Push(n)
+		}
+		for {
+			loot, k := s.StealHalf()
+			if k == 0 {
+				break
+			}
+			_ = loot
+		}
+		for !s.Empty() {
+			s.Pop()
+		}
+	}
+}
+
+func TestTakeTopBypassesPrivateRule(t *testing.T) {
+	s := New(3)
+	if _, ok := s.TakeTop(); ok {
+		t.Fatal("TakeTop on empty stack succeeded")
+	}
+	for i := uint32(0); i < 3; i++ { // exactly one full chunk
+		s.Push(node(i))
+	}
+	if s.StealableChunks() != 0 {
+		t.Fatal("setup: single chunk should be private")
+	}
+	got, ok := s.TakeTop()
+	if !ok || len(got) != 3 {
+		t.Fatalf("TakeTop = %v, %v", got, ok)
+	}
+	if !s.Empty() {
+		t.Fatal("stack not empty after TakeTop")
+	}
+	// Partial top chunk comes back whole too.
+	s.Push(node(9))
+	got, ok = s.TakeTop()
+	if !ok || len(got) != 1 || binary.BigEndian.Uint32(got[0].State[:4]) != 9 {
+		t.Fatalf("partial TakeTop = %v, %v", got, ok)
+	}
+}
+
+func TestTakeTopReturnsNewestChunk(t *testing.T) {
+	s := New(2)
+	for i := uint32(0); i < 6; i++ {
+		s.Push(node(i))
+	}
+	got, ok := s.TakeTop()
+	if !ok || len(got) != 2 {
+		t.Fatalf("TakeTop = %v, %v", got, ok)
+	}
+	if binary.BigEndian.Uint32(got[1].State[:4]) != 5 {
+		t.Fatalf("TakeTop returned %v, want the newest chunk", got)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("remaining %d nodes", s.Len())
+	}
+}
