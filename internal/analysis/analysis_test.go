@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func TestPathMatches(t *testing.T) {
+	cases := []struct {
+		path     string
+		prefixes []string
+		want     bool
+	}{
+		{"distws/internal/rng", []string{"distws/internal/rng"}, true},
+		{"distws/internal/rng/sub", []string{"distws/internal/rng"}, true},
+		{"distws/internal/rngx", []string{"distws/internal/rng"}, false},
+		{"distws/internal/sim", []string{"distws/internal"}, true},
+		{"distws/cmd/uts", []string{"distws/internal"}, false},
+		{"anything", nil, false},
+	}
+	for _, c := range cases {
+		if got := PathMatches(c.path, c.prefixes); got != c.want {
+			t.Errorf("PathMatches(%q, %v) = %v, want %v", c.path, c.prefixes, got, c.want)
+		}
+	}
+}
+
+// TestLoadTypeChecksModulePackage loads a real module package through
+// the go list + export-data pipeline and checks the type information
+// is populated — the property every analyzer depends on.
+func TestLoadTypeChecksModulePackage(t *testing.T) {
+	pkgs, err := Load(".", "distws/internal/rng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "distws/internal/rng" || p.Types.Name() != "rng" {
+		t.Fatalf("loaded %q (package %s)", p.ImportPath, p.Types.Name())
+	}
+	if len(p.Info.Defs) == 0 || len(p.Info.Uses) == 0 {
+		t.Fatal("type info not populated")
+	}
+	if p.Types.Scope().Lookup("Xoshiro256") == nil {
+		t.Fatal("exported type Xoshiro256 not found in package scope")
+	}
+}
+
+// TestLoadDirImportPathOverride checks fixtures can impersonate module
+// paths, which the allowlist-sensitive analyzers rely on.
+func TestLoadDirImportPathOverride(t *testing.T) {
+	pkg, err := LoadDir("../rng", "distws/internal/fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.ImportPath != "distws/internal/fake" {
+		t.Fatalf("ImportPath = %q", pkg.ImportPath)
+	}
+	if pkg.Fset == nil || len(pkg.Files) == 0 {
+		t.Fatal("no files loaded")
+	}
+}

@@ -1,0 +1,124 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against expectations written in the fixture
+// source, in the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	rand.Seed(7) // want `math/rand`
+//
+// A `// want` comment holds one or more double-quoted or backquoted
+// regular expressions; each must be matched, in order, by the messages
+// of the diagnostics reported on that line. Lines without a want
+// comment must produce no diagnostics, so every fixture is both a
+// positive and a negative test.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"distws/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is the set of message patterns wanted on one line.
+type expectation struct {
+	patterns []*regexp.Regexp
+	matched  []bool
+}
+
+// Run loads the fixture package in dir under the given import path,
+// applies the analyzer, and reports any mismatch between produced
+// diagnostics and `// want` expectations as test failures.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	wants := make(map[string]map[int]*expectation) // file -> line -> expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := indexWant(text)
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				exp := &expectation{}
+				for _, m := range wantRe.FindAllString(text[i:], -1) {
+					var pat string
+					if m[0] == '`' {
+						pat = m[1 : len(m)-1]
+					} else {
+						unq, err := strconv.Unquote(m)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, m, err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					exp.patterns = append(exp.patterns, re)
+				}
+				if len(exp.patterns) == 0 {
+					t.Fatalf("%s: want comment with no patterns", pos)
+				}
+				if wants[pos.Filename] == nil {
+					wants[pos.Filename] = make(map[int]*expectation)
+				}
+				wants[pos.Filename][pos.Line] = exp
+				exp.matched = make([]bool, len(exp.patterns))
+			}
+		}
+	}
+
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	for _, d := range diags {
+		exp := wants[d.Pos.Filename][d.Pos.Line]
+		if exp == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		ok := false
+		for i, re := range exp.patterns {
+			if !exp.matched[i] && re.MatchString(d.Message) {
+				exp.matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("diagnostic does not match any remaining want pattern: %s", d)
+		}
+	}
+	for file, lines := range wants {
+		for line, exp := range lines {
+			for i, m := range exp.matched {
+				if !m {
+					t.Errorf("%s:%d: no diagnostic matched want %q", file, line, exp.patterns[i])
+				}
+			}
+		}
+	}
+}
+
+// indexWant returns the offset of a "// want" marker in a comment, or
+// -1. It accepts both standalone comments and trailing ones.
+func indexWant(text string) int {
+	const marker = "// want "
+	for i := 0; i+len(marker) <= len(text); i++ {
+		if text[i:i+len(marker)] == marker {
+			return i + len(marker)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,38 @@
+// Package fixture exercises the atomicmix analyzer: objects accessed
+// both through sync/atomic and directly must be reported at every
+// plain access; consistently-atomic and consistently-plain objects
+// must stay silent.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	mixed    int64
+	allAtom  uint64
+	allPlain int64
+	typed    atomic.Int64
+}
+
+var globalMixed int64
+
+func atomicSide(c *counters) {
+	atomic.AddInt64(&c.mixed, 1)
+	atomic.AddUint64(&c.allAtom, 1)
+	atomic.AddInt64(&globalMixed, 1)
+	c.typed.Add(1)
+}
+
+func plainSide(c *counters) int64 {
+	n := c.mixed // want `mixed is accessed atomically`
+	c.mixed = 0  // want `mixed is accessed atomically`
+	c.allPlain++
+	return n + globalMixed // want `globalMixed is accessed atomically`
+}
+
+func consistentReads(c *counters) uint64 {
+	return atomic.LoadUint64(&c.allAtom) + uint64(c.typed.Load())
+}
+
+func freshValueInitIsFine() *counters {
+	return &counters{mixed: 0, allAtom: 0}
+}

@@ -1,0 +1,18 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"distws/internal/analysis/analysistest"
+	"distws/internal/analysis/detrand"
+)
+
+func TestFlagsMathRandAndTimeSeeds(t *testing.T) {
+	a := detrand.New([]string{"distws/internal/rng"})
+	analysistest.Run(t, a, "testdata/bad", "distws/internal/victim")
+}
+
+func TestExemptPackageMayUseMathRand(t *testing.T) {
+	a := detrand.New([]string{"distws/internal/rng"})
+	analysistest.Run(t, a, "testdata/exempt", "distws/internal/rng")
+}

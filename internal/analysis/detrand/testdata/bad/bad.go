@@ -1,0 +1,39 @@
+// Package fixture exercises the detrand analyzer: every line below
+// marked `want` must be reported, every other line must stay silent.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+
+	"distws/internal/rng"
+)
+
+func globalRand() int {
+	rand.Seed(42)        // want `math/rand`
+	return rand.Intn(10) // want `math/rand`
+}
+
+func localButForbidden() float64 {
+	r := rand.New(rand.NewSource(1)) // want `math/rand` `math/rand`
+	return r.Float64()               // want `math/rand`
+}
+
+func timeSeeded() *rng.Xoshiro256 {
+	return rng.New(uint64(time.Now().UnixNano())) // want `time-seeded`
+}
+
+// timeSeededIndirect is a known limitation: the analyzer has no
+// dataflow, so a wall-clock seed laundered through a local variable is
+// not reported (walltime catches the time.Now itself in virtual-time
+// packages).
+func timeSeededIndirect() uint64 {
+	seed := time.Now()
+	g := rng.New(uint64(seed.Unix()))
+	return g.Uint64()
+}
+
+func fine() uint64 {
+	g := rng.New(7)
+	return g.Uint64()
+}

@@ -1,0 +1,18 @@
+// Package fixture stands in for internal/rng itself: with its import
+// path on the exempt list, math/rand references are allowed, but
+// time-seeding a constructor is still reported — there is no blessed
+// home for a wall-clock seed.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func reference() int {
+	return rand.Intn(3)
+}
+
+func stillNoClockSeeds() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time-seeded`
+}

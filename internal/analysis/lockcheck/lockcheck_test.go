@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"distws/internal/analysis/analysistest"
+	"distws/internal/analysis/lockcheck"
+)
+
+func TestCriticalSectionDiscipline(t *testing.T) {
+	analysistest.Run(t, lockcheck.New(), "testdata/locks", "distws/internal/workstack")
+}

@@ -1,0 +1,108 @@
+// Package fixture exercises the lockcheck analyzer: leaked critical
+// sections and sends-under-lock must be reported; the disciplined
+// variants below them must not.
+package fixture
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items []int
+}
+
+func skipUnlockOnReturn(s *store, stop bool) {
+	s.mu.Lock()
+	if stop {
+		return // want `return while s\.mu is locked`
+	}
+	s.items = append(s.items, 1)
+	s.mu.Unlock()
+}
+
+func neverUnlocked(s *store) { // hold the lock forever
+	s.mu.Lock() // want `no matching Unlock`
+	s.items = nil
+}
+
+func sendWhileLocked(s *store, ch chan int) {
+	s.mu.Lock()
+	ch <- len(s.items) // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func sendUnderDeferredLock(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- len(s.items) // want `channel send while holding s\.mu`
+}
+
+func readLockLeak(s *store, empty bool) int {
+	s.rw.RLock()
+	if empty {
+		return 0 // want `return while s\.rw is locked`
+	}
+	n := len(s.items)
+	s.rw.RUnlock()
+	return n
+}
+
+func deferGuarded(s *store, stop bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if stop {
+		return 0
+	}
+	return len(s.items)
+}
+
+func deferredClosureGuards(s *store, stop bool) int {
+	s.mu.Lock()
+	defer func() {
+		s.items = s.items[:0]
+		s.mu.Unlock()
+	}()
+	if stop {
+		return 0
+	}
+	return len(s.items)
+}
+
+func straightLine(s *store) {
+	s.mu.Lock()
+	s.items = append(s.items, 2)
+	s.mu.Unlock()
+}
+
+func returnAfterUnlock(s *store) int {
+	s.mu.Lock()
+	n := len(s.items)
+	s.mu.Unlock()
+	if n == 0 {
+		return -1
+	}
+	return n
+}
+
+func closureIsItsOwnScope(s *store) func() bool {
+	s.mu.Lock()
+	probe := func() bool {
+		return len(s.items) > 0 // a return inside a callback does not leak the outer lock
+	}
+	s.mu.Unlock()
+	return probe
+}
+
+func sendOutsideCriticalSection(s *store, ch chan int) {
+	s.mu.Lock()
+	n := len(s.items)
+	s.mu.Unlock()
+	ch <- n
+}
+
+func independentLocks(s *store, other *store) {
+	s.mu.Lock()
+	other.mu.Lock()
+	other.mu.Unlock()
+	s.mu.Unlock()
+}

@@ -1,0 +1,27 @@
+// Package fixture impersonates a virtual-time package
+// (distws/internal/sim): wall-clock reads and waits must be reported;
+// time's pure value types and constants must not.
+package fixture
+
+import "time"
+
+type event struct {
+	at time.Duration
+}
+
+func wallClockReads() time.Duration {
+	start := time.Now()      // want `wall-clock time\.Now`
+	time.Sleep(time.Second)  // want `wall-clock time\.Sleep`
+	return time.Since(start) // want `wall-clock time\.Since`
+}
+
+func timers() {
+	<-time.After(time.Millisecond)  // want `wall-clock time\.After`
+	t := time.NewTimer(time.Second) // want `wall-clock time\.NewTimer`
+	t.Stop()
+}
+
+func valuesAreFine(e event) time.Duration {
+	d := 3 * time.Millisecond
+	return e.at + d.Round(time.Microsecond)
+}

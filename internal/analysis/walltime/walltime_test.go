@@ -1,0 +1,23 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"distws/internal/analysis/analysistest"
+	"distws/internal/analysis/walltime"
+)
+
+func TestFlagsWallClockInVirtualPackage(t *testing.T) {
+	a := walltime.New([]string{"distws/internal"}, []string{"distws/internal/rt"})
+	analysistest.Run(t, a, "testdata/virtual", "distws/internal/sim")
+}
+
+func TestAllowlistedRuntimeIsIgnored(t *testing.T) {
+	a := walltime.New([]string{"distws/internal"}, []string{"distws/internal/rt"})
+	analysistest.Run(t, a, "testdata/real", "distws/internal/rt")
+}
+
+func TestUnlistedPackageIsIgnored(t *testing.T) {
+	a := walltime.New([]string{"distws/internal"}, []string{"distws/internal/rt"})
+	analysistest.Run(t, a, "testdata/real", "distws/cmd/experiments")
+}

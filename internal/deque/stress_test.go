@@ -1,0 +1,145 @@
+package deque
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stressItems returns the per-test element budget, shrunk so the whole
+// stress suite stays inside a `go test -race -short` CI gate.
+func stressItems(full int) int {
+	if testing.Short() {
+		return full / 8
+	}
+	return full
+}
+
+// TestStressWaves drives the deque through repeated fill/drain waves —
+// the owner racing thieves for the *last* element (the b==t CAS
+// arbitration in PopBottom) far more often than a single monotone run
+// does. Every element must be consumed exactly once across all waves.
+// Run with -race: the test exists to give the race detector
+// interleavings to chew on, not just to check the final counts.
+func TestStressWaves(t *testing.T) {
+	perWave := stressItems(8192)
+	waves := 24
+	thieves := runtime.GOMAXPROCS(0) + 1
+
+	d := New[int64](8)
+	var stop atomic.Bool
+	var consumed atomic.Int64
+	counts := make([]atomic.Int32, perWave*waves)
+
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if v, st := d.Steal(); st == OK {
+					counts[*v].Add(1)
+					consumed.Add(1)
+				}
+			}
+		}()
+	}
+
+	vals := make([]int64, perWave*waves)
+	for w := 0; w < waves; w++ {
+		base := int64(w * perWave)
+		for i := int64(0); i < int64(perWave); i++ {
+			vals[base+i] = base + i
+			d.PushBottom(&vals[base+i])
+		}
+		// Drain the wave completely so the next wave restarts from an
+		// empty deque with top == bottom, the contended corner.
+		for consumed.Load() < base+int64(perWave) {
+			if v, ok := d.PopBottom(); ok {
+				counts[*v].Add(1)
+				consumed.Add(1)
+			} else {
+				runtime.Gosched() // a thief holds the stragglers
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	total := int64(perWave * waves)
+	if consumed.Load() != total {
+		t.Fatalf("consumed %d of %d", consumed.Load(), total)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("element %d consumed %d times", i, c)
+		}
+	}
+	if !d.Empty() {
+		t.Fatal("deque not empty after all waves")
+	}
+}
+
+// TestStressGrowUnderSteals forces repeated ring growth while thieves
+// are concurrently CASing the top: growth publishes a new ring with an
+// atomic store, and a thief may still be reading through the old one —
+// exactly the window the Chase–Lev proof cares about. An initial burst
+// before the thieves start makes the growth assertion deterministic;
+// the following bursts grow (and shrink pressure) under live
+// contention.
+func TestStressGrowUnderSteals(t *testing.T) {
+	items := stressItems(262144)
+	const thieves = 4
+	const primer = 1024 // pushed before thieves start: forces >=1024-slot ring
+
+	d := New[int64](1) // rounds up to the 8-slot minimum
+	vals := make([]int64, items)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	for i := 0; i < primer; i++ {
+		d.PushBottom(&vals[i])
+	}
+	if got := d.ring.Load().capacity(); got < primer {
+		t.Fatalf("primer burst did not grow the ring: capacity %d", got)
+	}
+
+	var consumed atomic.Int64
+	counts := make([]atomic.Int32, items)
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for consumed.Load() < int64(items) {
+				if v, st := d.Steal(); st == OK {
+					counts[*v].Add(1)
+					consumed.Add(1)
+				}
+			}
+		}()
+	}
+
+	for i := primer; i < items; i++ {
+		d.PushBottom(&vals[i])
+	}
+	for {
+		if v, ok := d.PopBottom(); ok {
+			counts[*v].Add(1)
+			consumed.Add(1)
+			continue
+		}
+		if consumed.Load() == int64(items) {
+			break
+		}
+		runtime.Gosched()
+	}
+	wg.Wait()
+
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("element %d consumed %d times", i, c)
+		}
+	}
+}

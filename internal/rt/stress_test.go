@@ -1,0 +1,93 @@
+package rt
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"distws/internal/uts"
+)
+
+// stressPreset picks the tree so the full matrix below stays inside a
+// `go test -race -short` CI budget: H-TINY is ~20k nodes, H-SMALL
+// ~1.2M.
+func stressPreset() string {
+	if testing.Short() {
+		return "H-TINY"
+	}
+	return "H-SMALL"
+}
+
+// TestStressAllSelectorsUnderRace runs every victim-selection policy
+// against both queue designs with more workers than cores, checking
+// the traversal against sequential counts. Its job is to hand the race
+// detector the full protocol surface — chunk release/reacquire under
+// the per-worker mutex, Chase–Lev pop-vs-steal arbitration, the
+// pending-counter termination protocol — under every selector's
+// distinct contention pattern.
+func TestStressAllSelectorsUnderRace(t *testing.T) {
+	preset := stressPreset()
+	want := seq(t, preset)
+	workers := runtime.GOMAXPROCS(0) + 2
+	if workers < 4 {
+		workers = 4
+	}
+
+	for _, queue := range []Queue{Chunked, ChaseLev} {
+		for _, sel := range []SelectorKind{RoundRobin, Random, RingSkewed} {
+			for _, half := range []bool{false, true} {
+				if queue == ChaseLev && half {
+					continue // StealHalf does not apply to the deque
+				}
+				name := fmt.Sprintf("%s/%s/half=%v", queue, sel, half)
+				t.Run(name, func(t *testing.T) {
+					res, err := Run(Config{
+						Tree:      uts.MustPreset(preset).Params,
+						Workers:   workers,
+						Queue:     queue,
+						ChunkSize: 4,
+						Selector:  sel,
+						StealHalf: half,
+						Seed:      7,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Nodes != want.Nodes || res.Leaves != want.Leaves || res.MaxDepth != want.MaxDepth {
+						t.Fatalf("got nodes/leaves/depth %d/%d/%d, want %d/%d/%d",
+							res.Nodes, res.Leaves, res.MaxDepth, want.Nodes, want.Leaves, want.MaxDepth)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestStressRepeatedSmallRuns hammers startup and termination — the
+// window where the pending counter decides global shutdown while
+// thieves are mid-steal — which a single long traversal exercises only
+// once per run.
+func TestStressRepeatedSmallRuns(t *testing.T) {
+	rounds := 40
+	if testing.Short() {
+		rounds = 10
+	}
+	want := seq(t, "T3")
+	for _, queue := range []Queue{Chunked, ChaseLev} {
+		for round := 0; round < rounds; round++ {
+			res, err := Run(Config{
+				Tree:     uts.MustPreset("T3").Params,
+				Workers:  6,
+				Queue:    queue,
+				Selector: SelectorKind(round % 3),
+				Seed:     uint64(round),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Nodes != want.Nodes {
+				t.Fatalf("%s round %d: got %d nodes, want %d", queue, round, res.Nodes, want.Nodes)
+			}
+		}
+	}
+}
