@@ -4,8 +4,9 @@
 # the race-detector stress tests on the concurrent packages.
 
 GO ?= go
+ARTIFACTS ?= artifacts
 
-.PHONY: build test vet distwsvet race lint check clean
+.PHONY: build test vet distwsvet race lint obs-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -32,7 +33,20 @@ lint:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: build lint vet distwsvet test race
+# obs-smoke exercises the observability pipeline end to end: a small
+# traced simulation, the tracetool text and JSON analyses, a Chrome
+# trace conversion, and obscheck validation of every artifact. CI
+# uploads $(ARTIFACTS)/ so the Perfetto trace of each run is a click
+# away (load smoke.chrome.json at ui.perfetto.dev).
+obs-smoke:
+	@mkdir -p $(ARTIFACTS)
+	$(GO) run ./cmd/uts -tree H-TINY -ranks 32 -seed 3 \
+		-trace $(ARTIFACTS)/smoke.jsonl -chrome $(ARTIFACTS)/smoke.chrome.json
+	$(GO) run ./cmd/tracetool -in $(ARTIFACTS)/smoke.jsonl
+	$(GO) run ./cmd/tracetool -in $(ARTIFACTS)/smoke.jsonl -format json > $(ARTIFACTS)/smoke.report.json
+	$(GO) run ./cmd/obscheck $(ARTIFACTS)/smoke.jsonl $(ARTIFACTS)/smoke.chrome.json $(ARTIFACTS)/smoke.report.json
+
+check: build lint vet distwsvet test race obs-smoke
 	@echo "check: all gates passed"
 
 clean:

@@ -11,6 +11,7 @@ import (
 
 	"distws/internal/core"
 	"distws/internal/harness"
+	"distws/internal/obs"
 	"distws/internal/rt"
 	"distws/internal/uts"
 	"distws/internal/victim"
@@ -87,6 +88,50 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		nodes += res.Nodes
 	}
 	b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/s")
+}
+
+// BenchmarkObservability measures what instrumentation costs the
+// simulator: the same run with recording off, with the activity trace,
+// with the protocol event log, and with the metrics registry on top.
+// The observer-effect test guarantees identical results across these;
+// this bench quantifies the wall-clock price of each layer.
+func BenchmarkObservability(b *testing.B) {
+	base := core.Config{
+		Tree:      uts.MustPreset("H-TINY").Params,
+		Ranks:     64,
+		Selector:  victim.NewDistanceSkewed,
+		Steal:     core.StealHalf,
+		ChunkSize: 4,
+		Seed:      1,
+	}
+	variants := []struct {
+		name string
+		mod  func(*core.Config)
+	}{
+		{"disabled", func(*core.Config) {}},
+		{"trace", func(c *core.Config) { c.CollectTrace = true }},
+		{"events", func(c *core.Config) { c.CollectEvents = true }},
+		{"events+metrics", func(c *core.Config) {
+			c.CollectEvents = true
+			c.Metrics = obs.NewRegistry()
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := base
+			v.mod(&cfg)
+			b.ReportAllocs()
+			var nodes uint64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes += res.Nodes
+			}
+			b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/s")
+		})
+	}
 }
 
 // BenchmarkQueueDesigns compares the two shared-memory queue designs —

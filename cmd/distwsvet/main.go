@@ -42,13 +42,18 @@ var (
 	// boundary is drawn here.) Time-seeding is not excepted anywhere.
 	randExempt = []string{"distws/internal/rng"}
 
-	// virtualTime packages must never read the host clock...
+	// virtualTime packages must never read the host clock. That
+	// includes the observability layer (internal/obs, internal/trace):
+	// its events, counters and histograms are pure functions of the
+	// simulated run, timestamped in virtual nanoseconds, so traced runs
+	// stay bit-identical across hosts.
 	virtualTime = []string{"distws/internal"}
 	// ...except the real shared-memory runtime internal/rt, whose
 	// entire point is genuine elapsed time (it benchmarks the same
-	// victim-selection machinery the simulator studies). Command-line
-	// tools and examples live outside internal/ and may also time
-	// things.
+	// victim-selection machinery the simulator studies); its metrics
+	// use the rt_ name prefix to keep the two time bases apart.
+	// Command-line tools and examples live outside internal/ and may
+	// also time things.
 	wallClockOK = []string{"distws/internal/rt"}
 )
 

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+
+	"distws/internal/analysis"
+	"distws/internal/analysis/walltime"
+)
+
+// TestObsPackagesClean machine-checks the observability layer against
+// every invariant analyzer the repo ships. internal/obs and
+// internal/trace sit inside the virtual-time boundary — their events,
+// counters and histograms must be pure functions of the simulated run —
+// while internal/rt is the one allowlisted wall-clock reader. All three
+// must come back clean under the production allowlists.
+func TestObsPackagesClean(t *testing.T) {
+	pkgs, err := analysis.Load("../..",
+		"distws/internal/obs", "distws/internal/trace", "distws/internal/rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("loaded %d packages, want 3", len(pkgs))
+	}
+	diags, err := analysis.Run(pkgs, analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding: %v", d)
+	}
+}
+
+// TestWalltimeAllowlistIsLoadBearing drops internal/rt from the
+// wall-clock allowlist and expects findings: rt genuinely reads the
+// host clock (that is its job), so the wallClockOK exception is doing
+// work rather than papering over a rule nothing trips.
+func TestWalltimeAllowlistIsLoadBearing(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "distws/internal/rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{walltime.New(virtualTime, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("internal/rt has no walltime findings without its allowlist entry; wallClockOK is stale")
+	}
+}

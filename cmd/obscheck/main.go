@@ -1,0 +1,99 @@
+// Command obscheck validates observability artifacts so CI can gate on
+// them (the obs-smoke target of make check):
+//
+//	obscheck t.jsonl t.json report.json
+//
+// Files ending in .jsonl are parsed with trace.ReadJSONL and must pass
+// trace.Validate. Files ending in .json must be valid JSON and are
+// additionally checked as Chrome trace-event files (non-empty
+// traceEvents) when they carry that key, or as non-empty tracetool
+// -format json reports when they are arrays. Exit status is non-zero
+// if any file fails; each file gets one OK/FAIL line.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"distws/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck file.jsonl|file.json ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		desc, err := check(path)
+		if err != nil {
+			fmt.Printf("FAIL %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("OK   %s: %s\n", path, desc)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func check(path string) (string, error) {
+	switch {
+	case strings.HasSuffix(path, ".jsonl"):
+		return checkTrace(path)
+	case strings.HasSuffix(path, ".json"):
+		return checkJSON(path)
+	default:
+		return "", fmt.Errorf("unknown extension (want .jsonl or .json)")
+	}
+}
+
+func checkTrace(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	tr, err := trace.ReadJSONL(f)
+	if err != nil {
+		return "", err
+	}
+	if err := tr.Validate(); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("trace, %d ranks, %d sessions, %d events (%d dropped)",
+		tr.Ranks(), tr.TotalSessions(), tr.TotalEvents(), tr.TotalEventsDropped()), nil
+}
+
+func checkJSON(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return "", fmt.Errorf("invalid JSON: %w", err)
+	}
+	switch v := doc.(type) {
+	case map[string]any:
+		events, ok := v["traceEvents"]
+		if !ok {
+			return "JSON object", nil
+		}
+		list, ok := events.([]any)
+		if !ok || len(list) == 0 {
+			return "", fmt.Errorf("chrome trace has no traceEvents")
+		}
+		return fmt.Sprintf("chrome trace, %d events", len(list)), nil
+	case []any:
+		if len(v) == 0 {
+			return "", fmt.Errorf("empty JSON report array")
+		}
+		return fmt.Sprintf("report array, %d entries", len(v)), nil
+	default:
+		return "", fmt.Errorf("unexpected top-level JSON %T", doc)
+	}
+}

@@ -1,56 +1,210 @@
 // Command tracetool analyzes activity traces produced by cmd/uts (or
 // the library's trace.WriteJSONL): it prints the occupancy summary, the
 // paper's starting/ending latencies, work-discovery session statistics,
-// and a lifestory chart.
+// and a lifestory chart. Traces that carry the protocol event log
+// (uts -trace) additionally get steal-latency percentiles, a rank×rank
+// traffic heatmap, and a termination-tail breakdown.
 //
 // Usage:
 //
 //	uts -tree H-SMALL -ranks 128 -trace t.jsonl
 //	tracetool -in t.jsonl
+//	tracetool -in a.jsonl -in b.jsonl -format json
 //	tracetool -in t.jsonl -lifestory -rows 32
+//	tracetool -in t.jsonl -chrome t.json     # convert for ui.perfetto.dev
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"distws/internal/metrics"
+	"distws/internal/obs"
 	"distws/internal/sim"
 	"distws/internal/trace"
 )
 
+// inList collects repeated -in flags.
+type inList []string
+
+func (l *inList) String() string     { return fmt.Sprint([]string(*l)) }
+func (l *inList) Set(v string) error { *l = append(*l, v); return nil }
+
+// jsonTrafficLimit caps the rank count for which -format json inlines
+// the full traffic matrix; past it the report would be dominated by an
+// O(ranks²) block of mostly zeros.
+const jsonTrafficLimit = 128
+
+// report is the machine-readable per-file analysis (-format json). All
+// _ns fields are virtual nanoseconds.
+type report struct {
+	File          string            `json:"file"`
+	Ranks         int               `json:"ranks"`
+	MakespanNS    int64             `json:"makespan_ns"`
+	Sessions      int               `json:"sessions"`
+	MaxOccupancy  float64           `json:"max_occupancy"`
+	MeanOccupancy float64           `json:"mean_occupancy"`
+	Events        map[string]uint64 `json:"events,omitempty"`
+	EventsDropped uint64            `json:"events_dropped,omitempty"`
+	Steals        *stealReport      `json:"steals,omitempty"`
+	Tail          *tailReport       `json:"termination_tail,omitempty"`
+	Traffic       [][]uint64        `json:"traffic,omitempty"`
+}
+
+type stealReport struct {
+	Count        int   `json:"count"`
+	Success      int   `json:"success"`
+	Refused      int   `json:"refused"`
+	Aborted      int   `json:"aborted"`
+	MeanNS       int64 `json:"mean_ns"`
+	P50NS        int64 `json:"p50_ns"`
+	P95NS        int64 `json:"p95_ns"`
+	P99NS        int64 `json:"p99_ns"`
+	MaxNS        int64 `json:"max_ns"`
+	SuccessP50NS int64 `json:"success_p50_ns"`
+	NodesMoved   int64 `json:"nodes_moved"`
+}
+
+type tailReport struct {
+	LastTransferNS  int64   `json:"last_transfer_ns"`
+	DurationNS      int64   `json:"duration_ns"`
+	Fraction        float64 `json:"fraction"`
+	FailedInTail    int     `json:"failed_in_tail"`
+	TokenHopsInTail int     `json:"token_hops_in_tail"`
+	TokenHopsTotal  int     `json:"token_hops_total"`
+}
+
 func main() {
 	var (
-		inFlag    = flag.String("in", "", "trace file (JSONL) to analyze (required)")
-		lifeFlag  = flag.Bool("lifestory", false, "print per-rank activity bars")
-		rowsFlag  = flag.Int("rows", 24, "max lifestory rows")
-		widthFlag = flag.Int("width", 72, "lifestory / curve width")
-		stepsFlag = flag.Int("steps", 10, "number of occupancy points for the SL/EL table")
+		ins        inList
+		formatFlag = flag.String("format", "text", "output format: text|json")
+		chromeFlag = flag.String("chrome", "", "convert the (single) input to Chrome trace-event JSON at this path")
+		lifeFlag   = flag.Bool("lifestory", false, "print per-rank activity bars")
+		rowsFlag   = flag.Int("rows", 24, "max lifestory rows")
+		widthFlag  = flag.Int("width", 72, "lifestory / curve width")
+		stepsFlag  = flag.Int("steps", 10, "number of occupancy points for the SL/EL table")
+		heatFlag   = flag.Int("heatmap", 16, "traffic heatmap size in tiles (0 disables)")
 	)
+	flag.Var(&ins, "in", "trace file (JSONL) to analyze; repeatable")
 	flag.Parse()
 
-	if *inFlag == "" {
-		fmt.Fprintln(os.Stderr, "tracetool: -in is required")
+	if len(ins) == 0 {
+		fmt.Fprintln(os.Stderr, "tracetool: at least one -in is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*inFlag)
+	if *formatFlag != "text" && *formatFlag != "json" {
+		fatalf("unknown -format %q (text|json)", *formatFlag)
+	}
+	if *chromeFlag != "" && len(ins) != 1 {
+		fatalf("-chrome converts exactly one trace; got %d inputs", len(ins))
+	}
+
+	var reports []report
+	for _, path := range ins {
+		tr := load(path)
+		if *chromeFlag != "" {
+			writeChrome(*chromeFlag, tr)
+		}
+		switch *formatFlag {
+		case "json":
+			reports = append(reports, analyze(path, tr))
+		default:
+			if len(ins) > 1 {
+				fmt.Printf("==> %s <==\n", path)
+			}
+			printText(tr, *stepsFlag, *heatFlag, *lifeFlag, *widthFlag, *rowsFlag)
+			if len(ins) > 1 {
+				fmt.Println()
+			}
+		}
+	}
+	if *formatFlag == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+func load(path string) *trace.Trace {
+	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	tr, err := trace.ReadJSONL(f)
 	f.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatalf("%s: %v", path, err)
 	}
 	if err := tr.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "tracetool: trace fails validation: %v\n", err)
-		os.Exit(1)
+		fatalf("%s: trace fails validation: %v", path, err)
 	}
+	return tr
+}
 
+func writeChrome(path string, tr *trace.Trace) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := obs.WriteChromeTrace(f, tr); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("closing %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "tracetool: chrome trace written to %s (load at ui.perfetto.dev)\n", path)
+}
+
+// analyze builds the machine-readable report for one trace.
+func analyze(path string, tr *trace.Trace) report {
+	curve := metrics.Occupancy(tr)
+	r := report{
+		File:          path,
+		Ranks:         tr.Ranks(),
+		MakespanNS:    int64(tr.End),
+		Sessions:      tr.TotalSessions(),
+		MaxOccupancy:  curve.MaxOccupancy(),
+		MeanOccupancy: curve.MeanOccupancy(),
+	}
+	if tr.Events == nil {
+		return r
+	}
+	r.Events = map[string]uint64{}
+	for k, n := range tr.EventCounts() {
+		if n > 0 {
+			r.Events[trace.EventKind(k).String()] = n
+		}
+	}
+	r.EventsDropped = tr.TotalEventsDropped()
+	pairs := obs.PairSteals(tr)
+	if len(pairs) > 0 {
+		st := obs.StealLatency(pairs)
+		r.Steals = &stealReport{
+			Count: st.Count, Success: st.Success, Refused: st.Refused, Aborted: st.Aborted,
+			MeanNS: int64(st.Mean), P50NS: int64(st.P50), P95NS: int64(st.P95),
+			P99NS: int64(st.P99), MaxNS: int64(st.Max),
+			SuccessP50NS: int64(st.SuccessP50), NodesMoved: st.NodesMoved,
+		}
+	}
+	tail := obs.TerminationTail(tr, pairs)
+	r.Tail = &tailReport{
+		LastTransferNS: int64(tail.LastTransfer), DurationNS: int64(tail.Duration),
+		Fraction: tail.Fraction, FailedInTail: tail.FailedInTail,
+		TokenHopsInTail: tail.TokenHopsInTail, TokenHopsTotal: tail.TokenHopsTotal,
+	}
+	if tr.Ranks() <= jsonTrafficLimit {
+		r.Traffic = obs.Traffic(tr)
+	}
+	return r
+}
+
+// printText is the human-readable analysis for one trace.
+func printText(tr *trace.Trace, steps, heat int, life bool, width, rows int) {
 	curve := metrics.Occupancy(tr)
 	fmt.Printf("trace: %d ranks, makespan %v, %d sessions\n",
 		tr.Ranks(), sim.Duration(tr.End), tr.TotalSessions())
@@ -64,7 +218,7 @@ func main() {
 	}
 
 	fmt.Printf("\noccupancy   SL (%% runtime)   EL (%% runtime)\n")
-	for _, p := range curve.LatencyCurve(metrics.OccupancySamples(*stepsFlag, curve.MaxOccupancy())) {
+	for _, p := range curve.LatencyCurve(metrics.OccupancySamples(steps, curve.MaxOccupancy())) {
 		if !p.Reached {
 			fmt.Printf("   %3.0f%%        (never reached)\n", p.Occupancy*100)
 			continue
@@ -72,8 +226,44 @@ func main() {
 		fmt.Printf("   %3.0f%%        %6.2f           %6.2f\n", p.Occupancy*100, p.SL*100, p.EL*100)
 	}
 
-	if *lifeFlag {
-		fmt.Println()
-		fmt.Print(metrics.Lifestory(tr, *widthFlag, *rowsFlag))
+	if tr.Events != nil {
+		fmt.Printf("\nprotocol events: %d recorded, %d dropped from bounded rings\n",
+			tr.TotalEvents(), tr.TotalEventsDropped())
+		counts := tr.EventCounts()
+		for k, n := range counts {
+			if n > 0 {
+				fmt.Printf("  %-14s %d\n", trace.EventKind(k).String(), n)
+			}
+		}
+
+		pairs := obs.PairSteals(tr)
+		if len(pairs) > 0 {
+			sl := obs.StealLatency(pairs)
+			fmt.Printf("\nsteal round trips: %d (%d ok, %d refused, %d aborted), %d nodes moved\n",
+				sl.Count, sl.Success, sl.Refused, sl.Aborted, sl.NodesMoved)
+			fmt.Printf("steal latency: mean %v, p50 %v, p95 %v, p99 %v, max %v (successful p50 %v)\n",
+				sl.Mean, sl.P50, sl.P95, sl.P99, sl.Max, sl.SuccessP50)
+		}
+
+		if heat > 0 {
+			fmt.Println()
+			fmt.Print(obs.RenderHeatmap(obs.Traffic(tr), heat))
+		}
+
+		tail := obs.TerminationTail(tr, pairs)
+		fmt.Printf("\ntermination tail: last work transfer at %v, tail %v (%.1f%% of makespan)\n",
+			sim.Duration(tail.LastTransfer), tail.Duration, tail.Fraction*100)
+		fmt.Printf("  failed steals in tail: %d; token hops: %d in tail / %d total\n",
+			tail.FailedInTail, tail.TokenHopsInTail, tail.TokenHopsTotal)
 	}
+
+	if life {
+		fmt.Println()
+		fmt.Print(metrics.Lifestory(tr, width, rows))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracetool: "+format+"\n", args...)
+	os.Exit(1)
 }

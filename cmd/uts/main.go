@@ -5,16 +5,26 @@
 //
 //	uts -tree H-SMALL -ranks 128 -placement 1/N -selector Tofu -steal half
 //	uts -tree T3 -ranks 8 -trace trace.jsonl
+//	uts -tree T3 -ranks 32 -trace t.jsonl -chrome t.json -obs :6060
+//
+// -trace also captures the protocol-level event log (steal round trips,
+// token hops, quantum boundaries) into the JSONL file for cmd/tracetool;
+// -chrome writes the same run as Chrome trace-event JSON for
+// ui.perfetto.dev; -obs serves /metrics (Prometheus), /debug/vars and
+// /debug/pprof/ on the given address for the duration of the process.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 
 	"distws/internal/core"
 	"distws/internal/metrics"
+	"distws/internal/obs"
 	"distws/internal/sim"
 	"distws/internal/term"
 	"distws/internal/topology"
@@ -33,7 +43,11 @@ func main() {
 		nodeCostFlag = flag.Duration("nodecost", 0, "virtual time per child generation (default 1µs)")
 		seedFlag     = flag.Uint64("seed", 1, "random seed")
 		detFlag      = flag.String("termination", "Safra", "termination detector: Safra|Ring")
-		traceFlag    = flag.String("trace", "", "write the activity trace (JSONL) to this file")
+		traceFlag    = flag.String("trace", "", "write the activity trace + event log (JSONL) to this file")
+		chromeFlag   = flag.String("chrome", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		eventsFlag   = flag.Bool("events", false, "collect the protocol event log even without -trace/-chrome")
+		eventBufFlag = flag.Int("eventbuf", 0, "per-rank event ring capacity (0 = default)")
+		obsFlag      = flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :6060)")
 		listTrees    = flag.Bool("listtrees", false, "list tree presets and exit")
 		listSel      = flag.Bool("listselectors", false, "list victim selectors and exit")
 	)
@@ -86,17 +100,32 @@ func main() {
 		fatalf("unknown termination detector %q (Safra|Ring)", *detFlag)
 	}
 
+	collectEvents := *eventsFlag || *traceFlag != "" || *chromeFlag != ""
+	var reg *obs.Registry
+	if *obsFlag != "" {
+		reg = obs.NewRegistry()
+		go func() {
+			if err := http.ListenAndServe(*obsFlag, obs.Handler(reg)); err != nil {
+				fmt.Fprintf(os.Stderr, "uts: obs server: %v\n", err)
+			}
+		}()
+		fmt.Printf("observability: http://%s/metrics (also /debug/vars, /debug/pprof/)\n", *obsFlag)
+	}
+
 	cfg := core.Config{
-		Tree:         info.Params,
-		Ranks:        *ranksFlag,
-		Placement:    placement,
-		Selector:     selector,
-		Steal:        steal,
-		ChunkSize:    *chunkFlag,
-		NodeCost:     sim.Duration(*nodeCostFlag),
-		Detector:     detector,
-		Seed:         *seedFlag,
-		CollectTrace: *traceFlag != "",
+		Tree:          info.Params,
+		Ranks:         *ranksFlag,
+		Placement:     placement,
+		Selector:      selector,
+		Steal:         steal,
+		ChunkSize:     *chunkFlag,
+		NodeCost:      sim.Duration(*nodeCostFlag),
+		Detector:      detector,
+		Seed:          *seedFlag,
+		CollectTrace:  *traceFlag != "" || *chromeFlag != "",
+		CollectEvents: collectEvents,
+		EventBuffer:   *eventBufFlag,
+		Metrics:       reg,
 	}
 	res, err := core.Run(cfg)
 	if err != nil {
@@ -130,19 +159,36 @@ func main() {
 		c := metrics.Occupancy(res.Trace)
 		fmt.Printf("  max occupancy:   %.1f%% (Wmax %d)\n", c.MaxOccupancy()*100, c.Wmax())
 		fmt.Printf("  mean occupancy:  %.1f%%\n", c.MeanOccupancy()*100)
-		if *traceFlag != "" {
-			f, err := os.Create(*traceFlag)
-			if err != nil {
-				fatalf("%v", err)
-			}
-			if err := res.Trace.WriteJSONL(f); err != nil {
-				fatalf("writing trace: %v", err)
-			}
-			if err := f.Close(); err != nil {
-				fatalf("closing trace: %v", err)
-			}
-			fmt.Printf("  trace written:   %s\n", *traceFlag)
+		if res.Trace.Events != nil {
+			fmt.Printf("  events recorded: %d (%d dropped from bounded rings)\n",
+				res.Trace.TotalEvents(), res.Trace.TotalEventsDropped())
 		}
+		if *traceFlag != "" {
+			writeFile(*traceFlag, res.Trace.WriteJSONL)
+			fmt.Printf("  trace written:   %s (analyze with tracetool -in %s)\n", *traceFlag, *traceFlag)
+		}
+		if *chromeFlag != "" {
+			writeFile(*chromeFlag, func(w io.Writer) error { return obs.WriteChromeTrace(w, res.Trace) })
+			fmt.Printf("  chrome trace:    %s (load at ui.perfetto.dev)\n", *chromeFlag)
+		}
+	}
+
+	if *obsFlag != "" {
+		fmt.Printf("\nrun complete; still serving %s — interrupt to exit\n", *obsFlag)
+		select {}
+	}
+}
+
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := write(f); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("closing %s: %v", path, err)
 	}
 }
 

@@ -2,26 +2,45 @@
 // work-stealing runtime and compares victim-selection strategies by
 // wall-clock time on this machine's CPUs.
 //
-//	go run ./examples/sharedmemory [-tree H-SMALL]
+//	go run ./examples/sharedmemory [-tree H-SMALL] [-obs :6060]
+//
+// With -obs, the rt runtime feeds a live metrics registry (steal
+// counters, wall-clock work-acquisition latency, the worker probe
+// matrix) served as Prometheus text on /metrics, alongside /debug/vars
+// and /debug/pprof/ — scrape mid-run to watch the steal series move.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"runtime"
 
+	"distws/internal/obs"
 	"distws/internal/rt"
 	"distws/internal/uts"
 )
 
 func main() {
 	treeName := flag.String("tree", "H-SMALL", "tree preset")
+	obsAddr := flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address")
 	flag.Parse()
 
 	info, ok := uts.Preset(*treeName)
 	if !ok {
 		log.Fatalf("unknown preset %q (known: %v)", *treeName, uts.PresetNames())
+	}
+
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+		go func() {
+			if err := http.ListenAndServe(*obsAddr, obs.Handler(reg)); err != nil {
+				log.Printf("obs server: %v", err)
+			}
+		}()
+		fmt.Printf("observability: http://%s/metrics\n\n", *obsAddr)
 	}
 
 	serial, err := rt.Run(rt.Config{Tree: info.Params, Workers: 1})
@@ -40,6 +59,7 @@ func main() {
 			Selector:  sel,
 			StealHalf: true,
 			Seed:      1,
+			Metrics:   reg,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -6,14 +6,17 @@ package distws
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"reflect"
+	"strconv"
 	"testing"
 
 	"distws/internal/core"
 	"distws/internal/dag"
 	"distws/internal/dagws"
 	"distws/internal/metrics"
+	"distws/internal/obs"
 	"distws/internal/rt"
 	"distws/internal/sim"
 	"distws/internal/topology"
@@ -62,6 +65,76 @@ func TestPipelineTraceRoundTrip(t *testing.T) {
 	sa, sb := metrics.Sessions(res.Trace), metrics.Sessions(back)
 	if !reflect.DeepEqual(sa, sb) {
 		t.Fatalf("session stats differ: %+v vs %+v", sa, sb)
+	}
+}
+
+// TestPipelineEventAnalysisRoundTrip drives the observability pipeline
+// end to end: a simulation with the protocol event log and a metrics
+// registry, serialized to JSONL and read back, must yield identical
+// steal-latency and traffic analyses, convert to non-trivial Chrome
+// trace JSON, and export a Prometheus page carrying the same steal
+// counts the engine reported.
+func TestPipelineEventAnalysisRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := core.Run(core.Config{
+		Tree:          uts.MustPreset("H-TINY").Params,
+		Ranks:         32,
+		ChunkSize:     4,
+		Selector:      victim.NewDistanceSkewed,
+		Steal:         core.StealHalf,
+		Seed:          1,
+		CollectEvents: true,
+		Metrics:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Trace.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalEvents() != res.Trace.TotalEvents() {
+		t.Fatalf("event count changed in serialization: %d vs %d",
+			back.TotalEvents(), res.Trace.TotalEvents())
+	}
+
+	origPairs, backPairs := obs.PairSteals(res.Trace), obs.PairSteals(back)
+	if !reflect.DeepEqual(obs.StealLatency(origPairs), obs.StealLatency(backPairs)) {
+		t.Fatal("steal-latency stats differ after round trip")
+	}
+	if !reflect.DeepEqual(obs.Traffic(res.Trace), obs.Traffic(back)) {
+		t.Fatal("traffic matrix differs after round trip")
+	}
+
+	var chrome bytes.Buffer
+	if err := obs.WriteChromeTrace(&chrome, back); err != nil {
+		t.Fatal(err)
+	}
+	var page struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &page); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(page.TraceEvents) < int(back.TotalEvents())/2 {
+		t.Fatalf("chrome trace suspiciously small: %d events for %d recorded",
+			len(page.TraceEvents), back.TotalEvents())
+	}
+
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("sim_steal_success_total " + strconv.FormatUint(res.SuccessfulSteals, 10))
+	if !bytes.Contains(prom.Bytes(), want) {
+		t.Fatalf("prometheus page missing %q:\n%s", want, prom.String())
 	}
 }
 

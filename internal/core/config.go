@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 
+	"distws/internal/obs"
 	"distws/internal/sim"
 	"distws/internal/term"
 	"distws/internal/topology"
@@ -147,6 +148,24 @@ type Config struct {
 	// CollectTrace enables the activity trace (paper §III). Costs
 	// memory proportional to the number of phase transitions.
 	CollectTrace bool
+
+	// CollectEvents enables the protocol-level event log (internal/obs):
+	// bounded per-rank rings of steal, token, and quantum events attached
+	// to Result.Trace. Implies CollectTrace. Recording never perturbs the
+	// simulation — a traced run and an untraced run of the same
+	// configuration produce identical results (asserted by tests).
+	CollectEvents bool
+	// EventBuffer caps the per-rank event ring when CollectEvents is set;
+	// 0 means obs.DefaultRingCap. Runs that outgrow the ring keep the
+	// newest events and report the eviction count.
+	EventBuffer int
+
+	// Metrics, when non-nil, receives named counters and histograms
+	// (steal outcomes, round-trip latency, session lengths, chunk sizes,
+	// and — up to MatrixRankLimit ranks — the per-link traffic matrix).
+	// The simulator writes virtual-time durations, so the registry's
+	// final contents are deterministic for a deterministic Config.
+	Metrics *obs.Registry
 
 	// MaxVirtualTime aborts the run if the virtual clock passes it;
 	// 0 means DefaultMaxVirtualTime.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"distws/internal/comm"
+	"distws/internal/obs"
 	"distws/internal/sim"
 	"distws/internal/term"
 	"distws/internal/topology"
@@ -72,6 +73,7 @@ type rank struct {
 	pendingVictim              int    // victim of the outstanding request
 	reqID                      uint64 // id of the outstanding request
 	waitStart                  sim.Time
+	idleSince                  sim.Time     // start of the current work-discovery session
 	searchWait                 sim.Duration // total time waiting for replies
 	sessions                   uint64
 
@@ -95,6 +97,8 @@ type engine struct {
 	det    term.Detector
 	sel    victim.Selector
 	rec    *trace.Recorder
+	ev     *obs.Recorder  // protocol event rings; nil when disabled
+	met    *engineMetrics // registry handles; nil when disabled
 	ranks  []rank
 
 	backoffCfg Backoff
@@ -192,9 +196,14 @@ func Run(cfg Config) (*Result, error) {
 	e.kernel.SetTimeLimit(cfg.MaxVirtualTime)
 	e.net = comm.New(e.kernel, job, cfg.Latency)
 	e.sel = cfg.Selector(job, cfg.Seed)
-	if cfg.CollectTrace {
+	if cfg.CollectTrace || cfg.CollectEvents {
+		// The event log rides on the trace, so CollectEvents implies it.
 		e.rec = trace.NewRecorder(cfg.Ranks)
 	}
+	if cfg.CollectEvents {
+		e.ev = obs.NewRecorder(cfg.Ranks, cfg.EventBuffer)
+	}
+	e.met = newEngineMetrics(cfg.Metrics, cfg.Ranks)
 	for i := range e.ranks {
 		e.ranks[i].stack = workstack.New(cfg.ChunkSize)
 		e.ranks[i].pendingVictim = -1
@@ -257,6 +266,7 @@ func (e *engine) recordState(r int, t sim.Time, s trace.State) {
 func (e *engine) startQuantum(r int) {
 	rk := &e.ranks[r]
 	rk.state = rsWorking
+	e.ev.Record(r, e.kernel.Now(), trace.EvQuantumStart, -1, int64(rk.stack.Len()))
 	// Expansion cost is dominated by child generation (one hash chain
 	// per child), so a leaf costs one unit and an internal node one
 	// unit per child. Child generation is resumable: a quantum ends
@@ -299,6 +309,7 @@ func (e *engine) quantumEnd(r int) {
 	if rk.state == rsDone {
 		return
 	}
+	e.ev.Record(r, e.kernel.Now(), trace.EvQuantumEnd, -1, int64(rk.units))
 	e.pollMailbox(r)
 	if rk.state == rsDone {
 		return
@@ -318,6 +329,7 @@ func (e *engine) goIdle(r int) {
 	now := e.kernel.Now()
 	rk.state = rsBackoff // idle until sendSteal marks it searching
 	rk.extraDelay = 0    // request-handling debt is moot once idle
+	rk.idleSince = now
 	e.recordState(r, now, trace.Idle)
 	if e.rec != nil {
 		e.rec.BeginSession(r, now)
@@ -358,6 +370,11 @@ func (e *engine) sendSteal(r int) {
 	rk.requests++
 	rk.waitStart = e.kernel.Now()
 	rk.state = rsSearching
+	e.ev.Record(r, rk.waitStart, trace.EvStealSend, v, int64(id))
+	if e.met != nil {
+		e.met.stealRequests.Inc()
+	}
+	e.met.link(r, v)
 	e.net.Send(r, v, comm.TagStealRequest, stealRequest{ID: id}, 16)
 	if e.cfg.StealTimeout > 0 {
 		e.kernel.After(e.cfg.StealTimeout, func() { e.abortSteal(r, v, id) })
@@ -377,6 +394,11 @@ func (e *engine) abortSteal(r, v int, id uint64) {
 	rk.aborted++
 	rk.consecFails++
 	rk.pendingVictim = -1
+	e.ev.Record(r, now, trace.EvStealAbort, v, int64(id))
+	if e.met != nil {
+		e.met.stealAborted.Inc()
+		e.met.stealLatency.Observe(int64(now.Sub(rk.waitStart)))
+	}
 	e.sel.Observe(r, v, false)
 	if e.rec != nil {
 		e.rec.SessionAttempt(r, true)
@@ -443,15 +465,25 @@ func (e *engine) handle(r int, m *comm.Message) {
 		rk.successes++
 		rk.consecFails = 0
 		rk.backoff = 0
+		e.ev.Record(r, now, trace.EvWorkRecv, m.From, int64(len(reply.Nodes)))
+		if e.met != nil {
+			e.met.stealSuccess.Inc()
+		}
 		switch rk.state {
 		case rsSearching, rsBackoff:
 			if rk.state == rsSearching && reply.ID == rk.reqID {
 				rk.searchWait += now.Sub(rk.waitStart)
+				if e.met != nil {
+					e.met.stealLatency.Observe(int64(now.Sub(rk.waitStart)))
+				}
 			}
 			rk.pendingVictim = -1
 			if e.rec != nil {
 				e.rec.SessionAttempt(r, false)
 				e.rec.EndSession(r, now, true)
+			}
+			if e.met != nil {
+				e.met.session.Observe(int64(now.Sub(rk.idleSince)))
 			}
 			e.recordState(r, now, trace.Active)
 			rk.stack.Acquire(reply.Nodes)
@@ -475,6 +507,11 @@ func (e *engine) handle(r int, m *comm.Message) {
 		rk.fails++
 		rk.consecFails++
 		rk.pendingVictim = -1
+		e.ev.Record(r, now, trace.EvNoWorkRecv, m.From, int64(reply.ID))
+		if e.met != nil {
+			e.met.stealFail.Inc()
+			e.met.stealLatency.Observe(int64(now.Sub(rk.waitStart)))
+		}
 		e.sel.Observe(r, m.From, false)
 		if e.rec != nil {
 			e.rec.SessionAttempt(r, true)
@@ -482,6 +519,10 @@ func (e *engine) handle(r int, m *comm.Message) {
 		e.retryOrBackoff(r)
 
 	case comm.TagToken:
+		e.ev.Record(r, e.kernel.Now(), trace.EvTokenRecv, m.From, 0)
+		if e.met != nil {
+			e.met.tokenHops.Inc()
+		}
 		idle := rk.state != rsWorking
 		e.forwardTokens(e.det.OnToken(r, m.Payload.(term.Token), idle))
 		e.checkTermination()
@@ -497,9 +538,13 @@ func (e *engine) handle(r int, m *comm.Message) {
 // handleStealRequest answers thief's request against rank v's stack.
 func (e *engine) handleStealRequest(v, thief int, id uint64) {
 	rk := &e.ranks[v]
+	now := e.kernel.Now()
+	e.ev.Record(v, now, trace.EvStealRecv, thief, int64(id))
 	if rk.state == rsDone {
 		// Termination already detected; the thief will receive its own
 		// terminate message. Answer no-work to be safe.
+		e.ev.Record(v, now, trace.EvNoWorkSend, thief, int64(id))
+		e.met.link(v, thief)
 		e.net.Send(v, thief, comm.TagNoWork, noWorkReply{ID: id}, 16)
 		return
 	}
@@ -522,6 +567,8 @@ func (e *engine) handleStealRequest(v, thief int, id uint64) {
 		loot, chunks = rk.stack.StealOne()
 	}
 	if chunks == 0 {
+		e.ev.Record(v, now, trace.EvNoWorkSend, thief, int64(id))
+		e.met.link(v, thief)
 		e.net.Send(v, thief, comm.TagNoWork, noWorkReply{ID: id}, 16)
 		return
 	}
@@ -530,6 +577,11 @@ func (e *engine) handleStealRequest(v, thief int, id uint64) {
 	e.nodesSent += uint64(len(loot))
 	if twoSided {
 		rk.extraDelay += e.cfg.StealResponseCost
+	}
+	e.ev.Record(v, now, trace.EvWorkSend, thief, int64(len(loot)))
+	e.met.link(v, thief)
+	if e.met != nil {
+		e.met.chunkNodes.Observe(int64(len(loot)))
 	}
 	e.net.Send(v, thief, comm.TagWork, workReply{ID: id, Nodes: loot}, len(loot)*uts.NodeBytes)
 }
@@ -564,6 +616,8 @@ func (e *engine) forwardTokens(sends []term.Send) {
 	for _, s := range sends {
 		// The sender is the ring predecessor of the destination.
 		from := (s.To - 1 + e.cfg.Ranks) % e.cfg.Ranks
+		e.ev.Record(from, e.kernel.Now(), trace.EvTokenSend, s.To, 0)
+		e.met.link(from, s.To)
 		e.net.Send(from, s.To, comm.TagToken, s.Token, term.TokenBytes)
 	}
 }
@@ -594,6 +648,7 @@ func (e *engine) finishRank(r int) {
 		return
 	}
 	now := e.kernel.Now()
+	e.ev.Record(r, now, trace.EvTerminate, -1, 0)
 	if e.rec != nil && rk.state != rsWorking {
 		e.rec.EndSession(r, now, false)
 	}
@@ -660,6 +715,7 @@ func (e *engine) result() *Result {
 		if d, ok := res.Trace.MeanSessionDuration(); ok {
 			res.MeanSessionDuration = d
 		}
+		e.ev.Attach(res.Trace)
 	}
 	return res
 }

@@ -1,0 +1,72 @@
+package core
+
+import "distws/internal/obs"
+
+// MatrixRankLimit caps the rank count for which the engine maintains a
+// dense per-link traffic matrix in the metrics registry: the matrix is
+// O(Ranks²) memory, which at the paper's 8192-rank scale would dwarf
+// the simulation state itself. Beyond the limit the matrix is simply
+// absent from the registry; cmd/tracetool reconstructs full traffic
+// matrices from the event log instead.
+const MatrixRankLimit = 1024
+
+// Metric names the engine publishes into Config.Metrics. The _ns
+// histograms hold virtual nanoseconds: for a deterministic
+// configuration the registry contents are a pure function of the run,
+// which the determinism test asserts by comparing exposition text.
+const (
+	MetricStealRequests = "sim_steal_requests_total"
+	MetricStealSuccess  = "sim_steal_success_total"
+	MetricStealFail     = "sim_steal_fail_total"
+	MetricStealAborted  = "sim_steal_aborted_total"
+	MetricTokenHops     = "sim_token_hops_total"
+	MetricStealLatency  = "sim_steal_latency_ns"
+	MetricSession       = "sim_session_ns"
+	MetricChunkNodes    = "sim_chunk_nodes"
+	MetricLinkMessages  = "sim_link_messages"
+)
+
+// engineMetrics pre-resolves the registry handles the hot paths touch,
+// so instrumentation costs one nil check plus an atomic add instead of
+// a map lookup. A nil *engineMetrics disables metrics collection; the
+// obs handles are themselves nil-safe, so a partially populated struct
+// (e.g. links absent past MatrixRankLimit) needs no extra branching.
+type engineMetrics struct {
+	stealRequests *obs.Counter
+	stealSuccess  *obs.Counter
+	stealFail     *obs.Counter
+	stealAborted  *obs.Counter
+	tokenHops     *obs.Counter
+	stealLatency  *obs.Histogram
+	session       *obs.Histogram
+	chunkNodes    *obs.Histogram
+	links         *obs.Matrix
+}
+
+func newEngineMetrics(reg *obs.Registry, ranks int) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &engineMetrics{
+		stealRequests: reg.Counter(MetricStealRequests),
+		stealSuccess:  reg.Counter(MetricStealSuccess),
+		stealFail:     reg.Counter(MetricStealFail),
+		stealAborted:  reg.Counter(MetricStealAborted),
+		tokenHops:     reg.Counter(MetricTokenHops),
+		stealLatency:  reg.Histogram(MetricStealLatency),
+		session:       reg.Histogram(MetricSession),
+		chunkNodes:    reg.Histogram(MetricChunkNodes),
+	}
+	if ranks <= MatrixRankLimit {
+		m.links = reg.Matrix(MetricLinkMessages, ranks)
+	}
+	return m
+}
+
+// link counts one protocol message on the from→to link. Nil-safe on
+// both the metrics struct and the (possibly rank-capped) matrix.
+func (m *engineMetrics) link(from, to int) {
+	if m != nil {
+		m.links.Inc(from, to)
+	}
+}

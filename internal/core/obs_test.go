@@ -1,0 +1,177 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"distws/internal/obs"
+	"distws/internal/trace"
+	"distws/internal/uts"
+	"distws/internal/victim"
+)
+
+// TestObserverEffect asserts that turning observability on does not
+// perturb the simulation: a run with the event log and a metrics
+// registry attached must produce bit-identical results to a bare run of
+// the same configuration. This is the contract that makes traces
+// trustworthy — what you observe is what would have happened anyway.
+func TestObserverEffect(t *testing.T) {
+	cfg := Config{
+		Tree:     uts.MustPreset("T3").Params,
+		Ranks:    16,
+		Selector: victim.NewUniformRandom,
+		Steal:    StealHalf,
+		Seed:     7,
+	}
+	bare, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obsCfg := cfg
+	obsCfg.CollectTrace = true
+	obsCfg.CollectEvents = true
+	obsCfg.Metrics = obs.NewRegistry()
+	traced, err := Run(obsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The traced result carries the trace and the session stat derived
+	// from it; zero those out, then everything else must match exactly.
+	scrub := func(r *Result) Result {
+		c := *r
+		c.Trace = nil
+		c.MeanSessionDuration = 0
+		return c
+	}
+	if !reflect.DeepEqual(scrub(bare), scrub(traced)) {
+		t.Fatalf("observability changed the run:\nbare:   %+v\ntraced: %+v", scrub(bare), scrub(traced))
+	}
+}
+
+// TestEventLogConsistent cross-checks the event log against the
+// engine's own counters on a traced run.
+func TestEventLogConsistent(t *testing.T) {
+	cfg := Config{
+		Tree:          uts.MustPreset("T3").Params,
+		Ranks:         8,
+		Selector:      victim.NewRoundRobin,
+		Seed:          3,
+		CollectEvents: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("CollectEvents did not imply a trace")
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.TotalEventsDropped() != 0 {
+		t.Fatalf("tiny run overflowed the default ring: %d dropped", res.Trace.TotalEventsDropped())
+	}
+	counts := res.Trace.EventCounts()
+	if counts[trace.EvStealSend] != res.StealRequests {
+		t.Fatalf("steal-send events %d != requests %d", counts[trace.EvStealSend], res.StealRequests)
+	}
+	if counts[trace.EvWorkSend] != res.SuccessfulSteals {
+		t.Fatalf("work-send events %d != successes %d", counts[trace.EvWorkSend], res.SuccessfulSteals)
+	}
+	if counts[trace.EvNoWorkRecv] != res.FailedSteals {
+		t.Fatalf("nowork-recv events %d != fails %d", counts[trace.EvNoWorkRecv], res.FailedSteals)
+	}
+	if counts[trace.EvTerminate] != uint64(cfg.Ranks) {
+		t.Fatalf("terminate events %d != ranks %d", counts[trace.EvTerminate], cfg.Ranks)
+	}
+	if counts[trace.EvQuantumStart] == 0 || counts[trace.EvTokenRecv] == 0 {
+		t.Fatalf("missing quantum or token events: %v", counts)
+	}
+
+	// The reconstructed steal transactions must match the counters too.
+	pairs := obs.PairSteals(res.Trace)
+	st := obs.StealLatency(pairs)
+	if uint64(st.Success) != res.SuccessfulSteals || uint64(st.Refused) != res.FailedSteals {
+		t.Fatalf("paired %d success / %d refused, counters say %d / %d",
+			st.Success, st.Refused, res.SuccessfulSteals, res.FailedSteals)
+	}
+	for _, p := range pairs {
+		if p.Latency() <= 0 {
+			t.Fatalf("non-positive steal latency: %+v", p)
+		}
+	}
+}
+
+// TestMetricsDeterministic runs the same configuration twice with fresh
+// registries and requires byte-identical Prometheus exposition: the
+// metrics are a pure function of the (virtual-time) run.
+func TestMetricsDeterministic(t *testing.T) {
+	expo := func() []byte {
+		reg := obs.NewRegistry()
+		if _, err := Run(Config{
+			Tree:     uts.MustPreset("T3").Params,
+			Ranks:    16,
+			Selector: victim.NewDistanceSkewed,
+			Seed:     11,
+			Metrics:  reg,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := expo(), expo()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("registry not deterministic:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if !bytes.Contains(a, []byte(MetricStealRequests)) ||
+		!bytes.Contains(a, []byte(MetricStealLatency+"_count")) ||
+		!bytes.Contains(a, []byte(MetricLinkMessages+"{from=")) {
+		t.Fatalf("exposition missing expected families:\n%s", a)
+	}
+}
+
+// TestMetricsMatchCounters checks the registry totals against the
+// result counters, and that the matrix is absent past MatrixRankLimit.
+func TestMetricsMatchCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := Run(Config{
+		Tree:     uts.MustPreset("T3").Params,
+		Ranks:    8,
+		Selector: victim.NewRoundRobin,
+		Seed:     5,
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricStealRequests).Value(); got != res.StealRequests {
+		t.Fatalf("counter %d != result %d", got, res.StealRequests)
+	}
+	if got := reg.Counter(MetricStealSuccess).Value(); got != res.SuccessfulSteals {
+		t.Fatalf("success counter %d != result %d", got, res.SuccessfulSteals)
+	}
+	if got := reg.Counter(MetricStealFail).Value(); got != res.FailedSteals {
+		t.Fatalf("fail counter %d != result %d", got, res.FailedSteals)
+	}
+	if got := reg.Histogram(MetricStealLatency).Count(); got != res.SuccessfulSteals+res.FailedSteals+res.AbortedSteals {
+		t.Fatalf("latency observations %d != closed steals %d", got,
+			res.SuccessfulSteals+res.FailedSteals+res.AbortedSteals)
+	}
+	m := reg.Matrix(MetricLinkMessages, 8)
+	var total uint64
+	for i := 0; i < m.N(); i++ {
+		for j := 0; j < m.N(); j++ {
+			total += m.At(i, j)
+		}
+	}
+	if total == 0 {
+		t.Fatal("link matrix empty on an 8-rank run")
+	}
+}

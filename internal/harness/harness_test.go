@@ -2,11 +2,13 @@ package harness
 
 import (
 	"bytes"
-
-	"distws/internal/core"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
+
+	"distws/internal/core"
+	"distws/internal/trace"
 )
 
 func TestScaleParsing(t *testing.T) {
@@ -264,5 +266,56 @@ func TestRunConfigDefaults(t *testing.T) {
 		Backoff: core.Backoff{Threshold: 5, Base: 1, Max: 2}}
 	if override.config().BackoffPolicy.Threshold != 5 {
 		t.Fatal("explicit backoff ignored")
+	}
+}
+
+func TestEventsRunAndDumpTraces(t *testing.T) {
+	tree := fig2Tree(Quick)
+	runs := []Run{
+		{Label: "fig0", Variant: Reference, Ranks: 4, Tree: tree, NodeCost: experimentNodeCost, Events: true, Seed: 1},
+		{Label: "fig0", Variant: Rand, Ranks: 4, Tree: tree, NodeCost: experimentNodeCost, Seed: 1}, // untraced
+	}
+	outs, err := Execute(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Result.Trace == nil || outs[0].Result.Trace.Events == nil {
+		t.Fatal("Events run produced no event log")
+	}
+	if outs[1].Result.Trace != nil {
+		t.Fatal("untraced run grew a trace")
+	}
+
+	dir := t.TempDir()
+	paths, err := DumpTraces(outs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("dumped %d traces, want 1: %v", len(paths), paths)
+	}
+	f, err := os.Open(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalEvents() != outs[0].Result.Trace.TotalEvents() {
+		t.Fatal("round-tripped event count differs")
+	}
+}
+
+func TestSlug(t *testing.T) {
+	if got := slug("Fig 7", "Tofu Half"); got != "fig-7-tofu-half" {
+		t.Fatalf("slug = %q", got)
+	}
+	if got := slug("", ""); got != "" {
+		t.Fatalf("empty slug = %q", got)
 	}
 }

@@ -49,7 +49,10 @@ type Run struct {
 	Tree      uts.Params
 	NodeCost  sim.Duration
 	Trace     bool
-	Seed      uint64
+	// Events additionally captures the protocol event log (implies a
+	// trace); DumpTraces exports the result for tracetool / Perfetto.
+	Events bool
+	Seed   uint64
 	// ChunkSize overrides ExperimentChunkSize when nonzero.
 	ChunkSize int
 	// PollInterval overrides the default of 1 when nonzero.
@@ -73,20 +76,21 @@ func (r Run) config() core.Config {
 		cs = ExperimentChunkSize
 	}
 	cfg := core.Config{
-		Tree:         r.Tree,
-		Ranks:        r.Ranks,
-		Placement:    r.Placement,
-		Selector:     r.Variant.Selector,
-		Steal:        r.Variant.Steal,
-		ChunkSize:    cs,
-		PollInterval: r.PollInterval,
-		NodeCost:     r.NodeCost,
-		Seed:         r.Seed,
-		CollectTrace: r.Trace,
-		Detector:     r.Detector,
-		Protocol:     r.Protocol,
-		StealTimeout: r.StealTimeout,
-		Latency:      r.Latency,
+		Tree:          r.Tree,
+		Ranks:         r.Ranks,
+		Placement:     r.Placement,
+		Selector:      r.Variant.Selector,
+		Steal:         r.Variant.Steal,
+		ChunkSize:     cs,
+		PollInterval:  r.PollInterval,
+		NodeCost:      r.NodeCost,
+		Seed:          r.Seed,
+		CollectTrace:  r.Trace,
+		CollectEvents: r.Events,
+		Detector:      r.Detector,
+		Protocol:      r.Protocol,
+		StealTimeout:  r.StealTimeout,
+		Latency:       r.Latency,
 	}
 	switch {
 	case r.Backoff != (core.Backoff{}):

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"distws/internal/sim"
+	"distws/internal/trace"
+)
+
+// StealOutcome classifies one reconstructed steal transaction.
+type StealOutcome uint8
+
+const (
+	// StealSuccess: the thief received work.
+	StealSuccess StealOutcome = iota
+	// StealRefused: the victim answered no-work.
+	StealRefused
+	// StealAborted: the thief gave up before any reply arrived.
+	StealAborted
+)
+
+func (o StealOutcome) String() string {
+	switch o {
+	case StealSuccess:
+		return "success"
+	case StealRefused:
+		return "refused"
+	default:
+		return "aborted"
+	}
+}
+
+// StealPair is one steal transaction reconstructed from a trace's
+// protocol events: the span from the thief posting the request to it
+// learning the outcome (work, refusal, or its own abort timer).
+type StealPair struct {
+	Thief, Victim int
+	Send, End     sim.Time
+	Outcome       StealOutcome
+	// Nodes transferred; nonzero only on success.
+	Nodes int64
+}
+
+// Latency returns the steal round trip as observed by the thief.
+func (p StealPair) Latency() sim.Duration { return p.End.Sub(p.Send) }
+
+// PairSteals reconstructs steal transactions from the event log. Each
+// rank has at most one outstanding request (the protocol is
+// stop-and-wait), so pairing is a per-rank scan: a steal-send opens a
+// transaction, the next work/no-work delivery or abort closes it.
+// Unmatched events — ring evictions, a send still open at trace end, a
+// late reply to an aborted request — are skipped. Results are ordered
+// by send time (ties by thief rank) for deterministic reports.
+func PairSteals(tr *trace.Trace) []StealPair {
+	var pairs []StealPair
+	for rank, es := range tr.Events {
+		open := -1 // index into pairs of this rank's pending transaction
+		for _, e := range es {
+			switch e.Kind {
+			case trace.EvStealSend:
+				// A second send with one still open means the close event
+				// was evicted from the ring; drop the orphan.
+				if open >= 0 {
+					pairs = pairs[:open]
+				}
+				open = len(pairs)
+				pairs = append(pairs, StealPair{
+					Thief: rank, Victim: e.Peer, Send: e.Time,
+				})
+			case trace.EvWorkRecv:
+				if open >= 0 {
+					pairs[open].End = e.Time
+					pairs[open].Outcome = StealSuccess
+					pairs[open].Nodes = e.Arg
+					open = -1
+				}
+			case trace.EvNoWorkRecv:
+				if open >= 0 {
+					pairs[open].End = e.Time
+					pairs[open].Outcome = StealRefused
+					open = -1
+				}
+			case trace.EvStealAbort:
+				if open >= 0 {
+					pairs[open].End = e.Time
+					pairs[open].Outcome = StealAborted
+					open = -1
+				}
+			}
+		}
+		if open >= 0 {
+			pairs = pairs[:open] // still in flight at trace end
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		if pairs[i].Send != pairs[j].Send {
+			return pairs[i].Send < pairs[j].Send
+		}
+		return pairs[i].Thief < pairs[j].Thief
+	})
+	return pairs
+}
+
+// StealLatencyStats summarizes steal round-trip latencies, the
+// distribution Gast et al.'s latency analysis needs (arXiv:1805.00857)
+// rather than the aggregate search-time means the paper tabulates.
+type StealLatencyStats struct {
+	Count                     int
+	Success, Refused, Aborted int
+	Mean, P50, P95, P99, Max  sim.Duration
+	// SuccessP50 isolates the successful round trips: these include
+	// the chunk transfer, so they run longer than refusals.
+	SuccessP50 sim.Duration
+	// NodesMoved totals the nodes carried by successful steals.
+	NodesMoved int64
+}
+
+// StealLatency computes exact latency percentiles over reconstructed
+// steal transactions (contrast with Histogram.Quantile's bucketed
+// estimate, which serves the live /metrics endpoint).
+func StealLatency(pairs []StealPair) StealLatencyStats {
+	st := StealLatencyStats{Count: len(pairs)}
+	if len(pairs) == 0 {
+		return st
+	}
+	lat := make([]sim.Duration, 0, len(pairs))
+	var okLat []sim.Duration
+	var sum sim.Duration
+	for _, p := range pairs {
+		d := p.Latency()
+		lat = append(lat, d)
+		sum += d
+		if d > st.Max {
+			st.Max = d
+		}
+		switch p.Outcome {
+		case StealSuccess:
+			st.Success++
+			st.NodesMoved += p.Nodes
+			okLat = append(okLat, d)
+		case StealRefused:
+			st.Refused++
+		case StealAborted:
+			st.Aborted++
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	st.Mean = sum / sim.Duration(len(lat))
+	st.P50 = quantileDur(lat, 0.50)
+	st.P95 = quantileDur(lat, 0.95)
+	st.P99 = quantileDur(lat, 0.99)
+	if len(okLat) > 0 {
+		sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+		st.SuccessP50 = quantileDur(okLat, 0.50)
+	}
+	return st
+}
+
+// quantileDur returns the q-quantile of sorted durations (nearest-rank).
+func quantileDur(sorted []sim.Duration, q float64) sim.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Traffic reconstructs the rank×rank protocol-message matrix from the
+// trace's send events ([from][to] counts): the view that shows which
+// links carry the failed-steal floods of the paper's Figure 7. Nil
+// when the trace has no event log.
+func Traffic(tr *trace.Trace) [][]uint64 {
+	if tr.Events == nil {
+		return nil
+	}
+	n := tr.Ranks()
+	m := make([][]uint64, n)
+	for i := range m {
+		m[i] = make([]uint64, n)
+	}
+	for rank, es := range tr.Events {
+		for _, e := range es {
+			switch e.Kind {
+			case trace.EvStealSend, trace.EvWorkSend, trace.EvNoWorkSend, trace.EvTokenSend:
+				if e.Peer >= 0 && e.Peer < n {
+					m[rank][e.Peer]++
+				}
+			}
+		}
+	}
+	return m
+}
+
+// heatGlyphs maps log-scaled intensity to ASCII, dark to bright.
+const heatGlyphs = " .:-=+*#%@"
+
+// RenderHeatmap renders m as an ASCII heatmap of at most size×size
+// tiles. When the matrix outgrows the terminal, ranks aggregate into
+// tiles; glyph intensity is log-scaled so one hot link cannot wash out
+// the rest of the picture.
+func RenderHeatmap(m [][]uint64, size int) string {
+	n := len(m)
+	if n == 0 {
+		return "(no traffic)\n"
+	}
+	if size < 1 {
+		size = 1
+	}
+	tiles := size
+	if tiles > n {
+		tiles = n
+	}
+	agg := make([][]uint64, tiles)
+	for i := range agg {
+		agg[i] = make([]uint64, tiles)
+	}
+	var max uint64
+	for i := 0; i < n; i++ {
+		for j, v := range m[i] {
+			ti, tj := i*tiles/n, j*tiles/n
+			agg[ti][tj] += v
+			if agg[ti][tj] > max {
+				max = agg[ti][tj]
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "traffic matrix: %d ranks as %dx%d tiles, rows=sender, max tile %d msgs\n", n, tiles, tiles, max)
+	logMax := log2u(max)
+	for i := 0; i < tiles; i++ {
+		b.WriteString("  |")
+		for j := 0; j < tiles; j++ {
+			v := agg[i][j]
+			var g byte = ' '
+			if v > 0 {
+				idx := 1
+				if logMax > 0 {
+					idx = 1 + int(float64(log2u(v))/float64(logMax)*float64(len(heatGlyphs)-2)+0.5)
+				}
+				if idx >= len(heatGlyphs) {
+					idx = len(heatGlyphs) - 1
+				}
+				g = heatGlyphs[idx]
+			}
+			b.WriteByte(g)
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// log2u is floor(log2(v))+1 for v>0, 0 for v==0 (i.e. bits.Len64
+// without the import noise at this call shape).
+func log2u(v uint64) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// TailStats breaks down the termination tail: everything after the
+// last successful work transfer, when remaining steal traffic is pure
+// overhead and the token ring winds the run down. At scale this tail
+// is where the paper's 8192-rank makespans go.
+type TailStats struct {
+	// LastTransfer is when the final successful steal completed.
+	LastTransfer sim.Time
+	// Duration is End - LastTransfer; Fraction is Duration/End.
+	Duration sim.Duration
+	Fraction float64
+	// FailedInTail counts steals that ended (refused or aborted)
+	// during the tail.
+	FailedInTail int
+	// TokenHopsInTail and TokenHopsTotal count termination-token
+	// deliveries in the tail and over the whole run.
+	TokenHopsInTail, TokenHopsTotal int
+}
+
+// TerminationTail computes the tail breakdown from a trace and its
+// reconstructed steal pairs (pass PairSteals(tr)).
+func TerminationTail(tr *trace.Trace, pairs []StealPair) TailStats {
+	var st TailStats
+	for _, p := range pairs {
+		if p.Outcome == StealSuccess && p.End > st.LastTransfer {
+			st.LastTransfer = p.End
+		}
+	}
+	for _, p := range pairs {
+		if p.Outcome != StealSuccess && p.End >= st.LastTransfer {
+			st.FailedInTail++
+		}
+	}
+	for _, es := range tr.Events {
+		for _, e := range es {
+			if e.Kind == trace.EvTokenRecv {
+				st.TokenHopsTotal++
+				if e.Time >= st.LastTransfer {
+					st.TokenHopsInTail++
+				}
+			}
+		}
+	}
+	if tr.End > st.LastTransfer {
+		st.Duration = tr.End.Sub(st.LastTransfer)
+	}
+	if tr.End > 0 {
+		st.Fraction = float64(st.Duration) / float64(tr.End)
+	}
+	return st
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"distws/internal/trace"
+)
+
+// analysisTrace builds a 3-rank trace with a known steal history:
+//
+//	rank 0 steals from 1 at t=10, work (8 nodes) arrives t=30 (success, 20ns)
+//	rank 0 steals from 2 at t=50, refusal arrives t=60    (refused, 10ns)
+//	rank 2 steals from 0 at t=55, gives up at t=95        (aborted, 40ns)
+//
+// then the termination token makes two hops (1 recv at 105, 2 recv at
+// 110) and the run ends at 120.
+func analysisTrace() *trace.Trace {
+	return &trace.Trace{
+		End:         120,
+		Transitions: make([][]trace.Transition, 3),
+		Sessions:    make([][]trace.Session, 3),
+		Events: [][]trace.Event{
+			{
+				{Time: 10, Kind: trace.EvStealSend, Peer: 1},
+				{Time: 30, Kind: trace.EvWorkRecv, Peer: 1, Arg: 8},
+				{Time: 50, Kind: trace.EvStealSend, Peer: 2},
+				{Time: 60, Kind: trace.EvNoWorkRecv, Peer: 2},
+				{Time: 100, Kind: trace.EvTokenSend, Peer: 1},
+			},
+			{
+				{Time: 20, Kind: trace.EvStealRecv, Peer: 0},
+				{Time: 20, Kind: trace.EvWorkSend, Peer: 0, Arg: 8},
+				{Time: 105, Kind: trace.EvTokenRecv, Peer: 0},
+				{Time: 106, Kind: trace.EvTokenSend, Peer: 2},
+			},
+			{
+				{Time: 52, Kind: trace.EvStealRecv, Peer: 0},
+				{Time: 53, Kind: trace.EvNoWorkSend, Peer: 0},
+				{Time: 55, Kind: trace.EvStealSend, Peer: 0},
+				{Time: 95, Kind: trace.EvStealAbort, Peer: -1},
+				{Time: 110, Kind: trace.EvTokenRecv, Peer: 1},
+			},
+		},
+		EventsDropped: make([]uint64, 3),
+	}
+}
+
+func TestPairSteals(t *testing.T) {
+	pairs := PairSteals(analysisTrace())
+	want := []StealPair{
+		{Thief: 0, Victim: 1, Send: 10, End: 30, Outcome: StealSuccess, Nodes: 8},
+		{Thief: 0, Victim: 2, Send: 50, End: 60, Outcome: StealRefused},
+		{Thief: 2, Victim: 0, Send: 55, End: 95, Outcome: StealAborted},
+	}
+	if len(pairs) != len(want) {
+		t.Fatalf("got %d pairs, want %d: %+v", len(pairs), len(want), pairs)
+	}
+	for i, p := range pairs {
+		if p != want[i] {
+			t.Errorf("pair %d = %+v, want %+v", i, p, want[i])
+		}
+	}
+	if got := pairs[0].Latency(); got != 20 {
+		t.Fatalf("latency = %v, want 20", got)
+	}
+}
+
+func TestPairStealsEvictionAndOpenTail(t *testing.T) {
+	tr := &trace.Trace{
+		End:         100,
+		Transitions: make([][]trace.Transition, 1),
+		Sessions:    make([][]trace.Session, 1),
+		Events: [][]trace.Event{{
+			// First send's close event was evicted: the second send must
+			// drop the orphan. The final send is still open at trace end
+			// and must be dropped too.
+			{Time: 10, Kind: trace.EvStealSend, Peer: 0},
+			{Time: 20, Kind: trace.EvStealSend, Peer: 0},
+			{Time: 30, Kind: trace.EvNoWorkRecv, Peer: 0},
+			{Time: 40, Kind: trace.EvStealSend, Peer: 0},
+		}},
+	}
+	pairs := PairSteals(tr)
+	if len(pairs) != 1 || pairs[0].Send != 20 || pairs[0].Outcome != StealRefused {
+		t.Fatalf("pairs = %+v, want single refused pair sent at 20", pairs)
+	}
+}
+
+func TestStealLatency(t *testing.T) {
+	st := StealLatency(PairSteals(analysisTrace()))
+	if st.Count != 3 || st.Success != 1 || st.Refused != 1 || st.Aborted != 1 {
+		t.Fatalf("counts: %+v", st)
+	}
+	if st.Mean != 23 { // (20+10+40)/3, integer ns
+		t.Fatalf("mean = %v, want 23", st.Mean)
+	}
+	if st.P50 != 20 || st.Max != 40 {
+		t.Fatalf("p50 = %v max = %v", st.P50, st.Max)
+	}
+	if st.SuccessP50 != 20 || st.NodesMoved != 8 {
+		t.Fatalf("success stats: %+v", st)
+	}
+	if empty := StealLatency(nil); empty.Count != 0 || empty.Mean != 0 {
+		t.Fatalf("empty stats: %+v", empty)
+	}
+}
+
+func TestTraffic(t *testing.T) {
+	m := Traffic(analysisTrace())
+	want := [][]uint64{
+		{0, 2, 1}, // steal-send to 1, steal-send to 2, token-send to 1
+		{1, 0, 1}, // work-send to 0, token-send to 2
+		{2, 0, 0}, // no-work-send + steal-send to 0
+	}
+	for i := range want {
+		for j := range want[i] {
+			if m[i][j] != want[i][j] {
+				t.Fatalf("traffic[%d][%d] = %d, want %d (full: %v)", i, j, m[i][j], want[i][j], m)
+			}
+		}
+	}
+	if Traffic(&trace.Trace{Transitions: make([][]trace.Transition, 2)}) != nil {
+		t.Fatal("eventless trace should yield nil traffic")
+	}
+}
+
+func TestRenderHeatmap(t *testing.T) {
+	m := Traffic(analysisTrace())
+	out := RenderHeatmap(m, 16)
+	if !strings.Contains(out, "3 ranks as 3x3 tiles") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	if rows := strings.Count(out, "|\n"); rows != 3 {
+		t.Fatalf("want 3 heatmap rows, got %d:\n%s", rows, out)
+	}
+	// Aggregation path: 3 ranks into 2 tiles must not panic and must
+	// conserve the hot cells.
+	small := RenderHeatmap(m, 2)
+	if !strings.Contains(small, "2x2 tiles") {
+		t.Fatalf("aggregated header wrong:\n%s", small)
+	}
+	if got := RenderHeatmap(nil, 4); got != "(no traffic)\n" {
+		t.Fatalf("empty heatmap = %q", got)
+	}
+}
+
+func TestTerminationTail(t *testing.T) {
+	tr := analysisTrace()
+	st := TerminationTail(tr, PairSteals(tr))
+	if st.LastTransfer != 30 {
+		t.Fatalf("last transfer = %v, want 30", st.LastTransfer)
+	}
+	if st.Duration != 90 {
+		t.Fatalf("tail duration = %v, want 90", st.Duration)
+	}
+	if st.Fraction != 0.75 {
+		t.Fatalf("tail fraction = %v, want 0.75", st.Fraction)
+	}
+	if st.FailedInTail != 2 {
+		t.Fatalf("failed in tail = %d, want 2", st.FailedInTail)
+	}
+	if st.TokenHopsInTail != 2 || st.TokenHopsTotal != 2 {
+		t.Fatalf("token hops: %+v", st)
+	}
+}

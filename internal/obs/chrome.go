@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"distws/internal/sim"
+	"distws/internal/trace"
+)
+
+// chromeEvent is one record of the Chrome trace-event format. Field
+// names are fixed by the format (Trace Event Format spec); timestamps
+// are microseconds. Perfetto and chrome://tracing both load the
+// {"traceEvents": [...]} JSON object form emitted here.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	ID    int            `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// usec converts virtual nanoseconds to trace microseconds.
+func usec(t sim.Time) float64 { return float64(t) / 1e3 }
+
+// WriteChromeTrace renders tr as Chrome trace-event JSON: one thread
+// per rank, complete ("X") slices for active phases and work-discovery
+// sessions, instant events for the protocol log, and flow arrows from
+// each successful steal request to its work delivery. Load the file at
+// ui.perfetto.dev (or chrome://tracing) to scrub through the run.
+func WriteChromeTrace(w io.Writer, tr *trace.Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	first := true
+	emit := func(e chromeEvent) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		return enc.Encode(e) // Encode's trailing newline is valid JSON whitespace
+	}
+
+	if err := emit(chromeEvent{
+		Name: "process_name", Phase: "M", PID: 0,
+		Args: map[string]any{"name": "distws simulation"},
+	}); err != nil {
+		return err
+	}
+	for rank := 0; rank < tr.Ranks(); rank++ {
+		if err := emit(chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 0, TID: rank,
+			Args: map[string]any{"name": rankLabel(rank)},
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Active phases: each active transition opens a slice that closes
+	// at the next transition (or at trace end).
+	for rank, trs := range tr.Transitions {
+		for i, x := range trs {
+			if x.State != trace.Active {
+				continue
+			}
+			end := tr.End
+			if i+1 < len(trs) {
+				end = trs[i+1].Time
+			}
+			if err := emit(chromeEvent{
+				Name: "active", Cat: "activity", Phase: "X",
+				TS: usec(x.Time), Dur: usec(end) - usec(x.Time), PID: 0, TID: rank,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Work-discovery sessions as slices with their steal statistics.
+	for rank, ss := range tr.Sessions {
+		for _, s := range ss {
+			if err := emit(chromeEvent{
+				Name: "steal-search", Cat: "session", Phase: "X",
+				TS: usec(s.Start), Dur: usec(s.End) - usec(s.Start), PID: 0, TID: rank,
+				Args: map[string]any{
+					"attempts": s.Attempts, "failed": s.Failed, "success": s.Success,
+				},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Protocol events as thread-scoped instants.
+	for rank, es := range tr.Events {
+		for _, e := range es {
+			if err := emit(chromeEvent{
+				Name: e.Kind.String(), Cat: "protocol", Phase: "i", Scope: "t",
+				TS: usec(e.Time), PID: 0, TID: rank,
+				Args: map[string]any{"peer": e.Peer, "arg": e.Arg},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Flow arrows for successful steals: Perfetto draws an arrow from
+	// the request send on the thief to the work delivery.
+	for id, p := range PairSteals(tr) {
+		if p.Outcome != StealSuccess {
+			continue
+		}
+		if err := emit(chromeEvent{
+			Name: "steal", Cat: "flow", Phase: "s",
+			TS: usec(p.Send), PID: 0, TID: p.Thief, ID: id + 1,
+		}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{
+			Name: "steal", Cat: "flow", Phase: "f", BP: "e",
+			TS: usec(p.End), PID: 0, TID: p.Thief, ID: id + 1,
+			Args: map[string]any{"victim": p.Victim, "nodes": p.Nodes},
+		}); err != nil {
+			return err
+		}
+	}
+
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// rankLabel zero-pads so Perfetto's lexicographic thread sort matches
+// rank order.
+func rankLabel(rank int) string {
+	return fmt.Sprintf("rank %06d", rank)
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"distws/internal/trace"
+)
+
+func chromeFixture() *trace.Trace {
+	tr := analysisTrace()
+	tr.Transitions = [][]trace.Transition{
+		{{Time: 0, State: trace.Active}, {Time: 40, State: trace.Idle}, {Time: 70, State: trace.Active}},
+		{{Time: 0, State: trace.Active}},
+		{{Time: 0, State: trace.Active}, {Time: 50, State: trace.Idle}},
+	}
+	tr.Sessions = [][]trace.Session{
+		{{Start: 40, End: 70, Attempts: 2, Failed: 1, Success: true}},
+		nil,
+		{{Start: 50, End: 120, Attempts: 1, Failed: 1}},
+	}
+	return tr
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, chromeFixture()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			ID    int            `json:"id"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	phases := map[string]int{}
+	var threads, actives, flowStarts, flowEnds int
+	for _, e := range doc.TraceEvents {
+		phases[e.Phase]++
+		switch {
+		case e.Name == "thread_name":
+			threads++
+		case e.Name == "active" && e.Phase == "X":
+			actives++
+			if e.Dur <= 0 {
+				t.Fatalf("active slice with non-positive duration: %+v", e)
+			}
+		case e.Name == "steal" && e.Phase == "s":
+			flowStarts++
+		case e.Name == "steal" && e.Phase == "f":
+			flowEnds++
+			if e.ID == 0 {
+				t.Fatal("flow event without id")
+			}
+		}
+	}
+	if threads != 3 {
+		t.Fatalf("thread metadata for %d ranks, want 3", threads)
+	}
+	// Rank 0 has two active slices, ranks 1 and 2 one each.
+	if actives != 4 {
+		t.Fatalf("active slices = %d, want 4", actives)
+	}
+	if phases["i"] == 0 {
+		t.Fatal("no instant events for the protocol log")
+	}
+	// One successful steal → exactly one flow arrow.
+	if flowStarts != 1 || flowEnds != 1 {
+		t.Fatalf("flow events: %d starts, %d ends, want 1 each", flowStarts, flowEnds)
+	}
+	// Timestamps are microseconds: the t=10ns steal-send lands at 0.01.
+	if !strings.Contains(buf.String(), `"ts":0.01`) {
+		t.Fatal("nanosecond→microsecond conversion missing")
+	}
+}
+
+func TestWriteChromeTraceEventless(t *testing.T) {
+	// A trace without an event log still renders activity slices.
+	tr := &trace.Trace{
+		End:         100,
+		Transitions: [][]trace.Transition{{{Time: 0, State: trace.Active}}},
+		Sessions:    make([][]trace.Session, 1),
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim_steal_requests_total").Add(7)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp, buf.String()
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content-type %q", ct)
+	}
+	if !strings.Contains(body, "sim_steal_requests_total 7") {
+		t.Fatalf("/metrics body missing counter:\n%s", body)
+	}
+
+	resp, body = get("/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+
+	resp, body = get("/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: status %d body %q", resp.StatusCode, body)
+	}
+
+	resp, _ = get("/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", resp.StatusCode)
+	}
+
+	resp, _ = get("/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"testing"
+
+	"distws/internal/sim"
+	"distws/internal/trace"
+)
+
+func TestRecorderRingBounds(t *testing.T) {
+	r := NewRecorder(2, 4)
+	for i := 0; i < 10; i++ {
+		r.Record(0, sim.Time(i), trace.EvStealSend, 1, int64(i))
+	}
+	r.Record(1, 0, trace.EvTerminate, -1, 0)
+	events, dropped := r.Snapshot()
+	if len(events[0]) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(events[0]))
+	}
+	if dropped[0] != 6 {
+		t.Fatalf("dropped[0] = %d, want 6", dropped[0])
+	}
+	// Ring keeps the newest events in time order.
+	for i, e := range events[0] {
+		if want := int64(6 + i); e.Arg != want {
+			t.Fatalf("event %d has arg %d, want %d", i, e.Arg, want)
+		}
+		if i > 0 && events[0][i-1].Time > e.Time {
+			t.Fatal("snapshot out of time order")
+		}
+	}
+	if len(events[1]) != 1 || dropped[1] != 0 {
+		t.Fatalf("rank 1: %d events, %d dropped", len(events[1]), dropped[1])
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("total dropped %d, want 6", r.Dropped())
+	}
+}
+
+func TestRecorderNilIsDisabled(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder claims enabled")
+	}
+	r.Record(0, 0, trace.EvStealSend, 1, 1) // must not panic
+	if ev, dr := r.Snapshot(); ev != nil || dr != nil {
+		t.Fatal("nil recorder has a snapshot")
+	}
+	if r.Dropped() != 0 {
+		t.Fatal("nil recorder dropped events")
+	}
+	tr := &trace.Trace{}
+	r.Attach(tr)
+	if tr.Events != nil {
+		t.Fatal("nil recorder attached events")
+	}
+}
+
+func TestRecorderAttach(t *testing.T) {
+	r := NewRecorder(1, 8)
+	r.Record(0, 5, trace.EvWorkSend, 2, 16)
+	tr := &trace.Trace{End: 10, Transitions: make([][]trace.Transition, 1), Sessions: make([][]trace.Session, 1)}
+	r.Attach(tr)
+	if tr.TotalEvents() != 1 || tr.Events[0][0].Arg != 16 {
+		t.Fatalf("attach lost events: %+v", tr.Events)
+	}
+	if len(tr.EventsDropped) != 1 {
+		t.Fatal("attach lost drop counts")
+	}
+}
+
+// BenchmarkRecordDisabled measures the nil-recorder fast path against
+// an enabled ring: the disabled call must stay within noise of a bare
+// loop so instrumented hot paths cost nothing when tracing is off.
+func BenchmarkRecordDisabled(b *testing.B) {
+	var r *Recorder
+	for i := 0; i < b.N; i++ {
+		r.Record(0, 0, trace.EvStealSend, 1, int64(i))
+	}
+}
+
+func BenchmarkRecordEnabled(b *testing.B) {
+	r := NewRecorder(1, DefaultRingCap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(0, 0, trace.EvStealSend, 1, int64(i))
+	}
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	g := NewRegistry()
+	c := g.Counter("steals")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Counter("steals") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	var nilC *Counter
+	nilC.Inc()
+	nilC.Add(3)
+	if nilC.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	g := NewRegistry()
+	h := g.Histogram("lat")
+	// 1000 observations of value 100 and 10 of value 100000: the p50
+	// must land in 100's bucket [64,127], the p99.5 in 100000's
+	// [65536,131071].
+	for i := 0; i < 1000; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100000)
+	}
+	if h.Count() != 1010 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Sum() != 1000*100+10*100000 {
+		t.Fatalf("sum %d", h.Sum())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 64 || p50 > 127 {
+		t.Fatalf("p50 = %v, want within [64,127]", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 65536 || p999 > 131071 {
+		t.Fatalf("p99.9 = %v, want within [65536,131071]", p999)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Fatal("quantiles not monotone")
+	}
+	if mean := h.Mean(); math.Abs(mean-float64(h.Sum())/1010) > 1e-9 {
+		t.Fatalf("mean %v", mean)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(5)
+	if nilH.Count() != 0 || nilH.Quantile(0.5) != 0 || nilH.Mean() != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile nonzero")
+	}
+	h.Observe(-17) // clamps to zero
+	h.Observe(0)
+	if h.Count() != 2 || h.Sum() != 0 {
+		t.Fatalf("clamped observations: count %d sum %d", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(1); q != 0 {
+		t.Fatalf("all-zero quantile %v", q)
+	}
+	// Out-of-range q clamps instead of panicking.
+	h.Observe(8)
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("clamped quantiles inverted")
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	g := NewRegistry()
+	m := g.Matrix("links", 3)
+	m.Inc(0, 1)
+	m.Inc(0, 1)
+	m.Add(2, 0, 7)
+	m.Inc(-1, 0) // ignored
+	m.Inc(0, 99) // ignored
+	if m.At(0, 1) != 2 || m.At(2, 0) != 7 || m.At(1, 1) != 0 {
+		t.Fatalf("matrix cells wrong: %v", m.Rows())
+	}
+	rows := m.Rows()
+	if len(rows) != 3 || rows[2][0] != 7 {
+		t.Fatalf("rows: %v", rows)
+	}
+	var nilM *Matrix
+	nilM.Inc(0, 0)
+	if nilM.N() != 0 || nilM.At(0, 0) != 0 || nilM.Rows() != nil {
+		t.Fatal("nil matrix not inert")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	g := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Counter("c").Inc()
+				g.Histogram("h").Observe(int64(i))
+				g.Matrix("m", 4).Inc(i%4, (i+1)%4)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Counter("c").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := g.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestWritePrometheusDeterministicAndWellFormed(t *testing.T) {
+	build := func() *Registry {
+		g := NewRegistry()
+		g.Counter("sim_steal_requests_total").Add(12)
+		g.Counter("a_first_counter").Add(1)
+		h := g.Histogram("sim_steal_latency_ns")
+		for _, v := range []int64{10, 20, 30, 5000} {
+			h.Observe(v)
+		}
+		m := g.Matrix("sim_link_messages", 2)
+		m.Inc(0, 1)
+		m.Add(1, 0, 3)
+		return g
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("exposition text differs between identical registries")
+	}
+	out := b1.String()
+	for _, want := range []string{
+		"# TYPE sim_steal_requests_total counter",
+		"sim_steal_requests_total 12",
+		"# TYPE sim_steal_latency_ns histogram",
+		`sim_steal_latency_ns_bucket{le="+Inf"} 4`,
+		"sim_steal_latency_ns_sum 5060",
+		"sim_steal_latency_ns_count 4",
+		`sim_link_messages{from="0",to="1"} 1`,
+		`sim_link_messages{from="1",to="0"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted family order: a_first_counter before sim_steal_requests.
+	if strings.Index(out, "a_first_counter") > strings.Index(out, "sim_steal_requests_total") {
+		t.Fatal("families not sorted by name")
+	}
+	// Cumulative buckets must be non-decreasing.
+	var last int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "sim_steal_latency_ns_bucket") {
+			v, err := strconv.Atoi(line[strings.LastIndexByte(line, ' ')+1:])
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			if v < last {
+				t.Fatalf("buckets not cumulative at %q", line)
+			}
+			last = v
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":      "ok_name",
+		"has.dots":     "has_dots",
+		"9starts":      "_starts",
+		"with spaces!": "with_spaces_",
+		"":             "_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package rt
+
+import (
+	"bytes"
+	"testing"
+
+	"distws/internal/obs"
+	"distws/internal/uts"
+)
+
+// TestMetricsRegistry runs an instrumented traversal and checks the
+// registry agrees with the Result tallies. Exercised under -race by
+// make check, which is the point: counter updates are lock-free
+// atomics fed concurrently by every worker.
+func TestMetricsRegistry(t *testing.T) {
+	for _, q := range []Queue{Chunked, ChaseLev} {
+		reg := obs.NewRegistry()
+		res, err := Run(Config{
+			Tree:    uts.MustPreset("T3").Params,
+			Workers: 4,
+			Queue:   q,
+			Seed:    9,
+			Metrics: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := reg.Counter(MetricSteals).Value(); got != res.Steals {
+			t.Fatalf("%v: steals counter %d != result %d", q, got, res.Steals)
+		}
+		if got := reg.Counter(MetricFailedSteals).Value(); got != res.FailedSteals {
+			t.Fatalf("%v: fails counter %d != result %d", q, got, res.FailedSteals)
+		}
+		if got := reg.Counter(MetricChunks).Value(); got != res.ChunksReleased {
+			t.Fatalf("%v: chunks counter %d != result %d", q, got, res.ChunksReleased)
+		}
+		if got := reg.Counter(MetricNodes).Value(); got != res.Nodes {
+			t.Fatalf("%v: nodes counter %d != result %d", q, got, res.Nodes)
+		}
+		if res.Steals > 0 && reg.Histogram(MetricStealWait).Count() != res.Steals {
+			t.Fatalf("%v: wait histogram %d observations, %d steals",
+				q, reg.Histogram(MetricStealWait).Count(), res.Steals)
+		}
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(buf.Bytes(), []byte(MetricNodes)) {
+			t.Fatalf("%v: exposition missing node counter:\n%s", q, buf.String())
+		}
+	}
+}
+
+// TestMetricsDisabled makes sure a nil registry stays the fast path.
+func TestMetricsDisabled(t *testing.T) {
+	res, err := Run(Config{Tree: uts.MustPreset("T3").Params, Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes == 0 {
+		t.Fatal("empty traversal")
+	}
+}

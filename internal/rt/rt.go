@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"distws/internal/deque"
+	"distws/internal/obs"
 	"distws/internal/rng"
 	"distws/internal/uts"
 	"distws/internal/workstack"
@@ -98,6 +99,50 @@ type Config struct {
 	// (Chunked only).
 	StealHalf bool
 	Seed      uint64
+
+	// Metrics, when non-nil, receives live counters, a wall-clock
+	// work-acquisition latency histogram, and the worker×worker probe
+	// matrix. Updates are lock-free atomics on the hot path; the
+	// time.Now calls they require are gated behind the nil check, so an
+	// uninstrumented run never reads the clock mid-loop. This package is
+	// the walltime analyzer's allowlisted side: it measures real time
+	// itself and feeds durations into the registry as plain numbers.
+	Metrics *obs.Registry
+}
+
+// Metric names the runtime publishes into Config.Metrics. The rt_
+// prefix separates real wall-clock series from the simulator's virtual
+// sim_ series, so a dashboard can never conflate the two time bases.
+const (
+	MetricSteals       = "rt_steals_total"
+	MetricFailedSteals = "rt_failed_steals_total"
+	MetricChunks       = "rt_chunks_released_total"
+	MetricNodes        = "rt_nodes_total"
+	MetricStealWait    = "rt_steal_wait_ns"
+	MetricProbes       = "rt_probe_matrix"
+)
+
+// rtMetrics pre-resolves registry handles so workers pay one atomic op
+// per update instead of a map lookup under the registry mutex.
+type rtMetrics struct {
+	steals    *obs.Counter
+	fails     *obs.Counter
+	chunks    *obs.Counter
+	stealWait *obs.Histogram
+	probes    *obs.Matrix
+}
+
+func newRTMetrics(reg *obs.Registry, workers int) *rtMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &rtMetrics{
+		steals:    reg.Counter(MetricSteals),
+		fails:     reg.Counter(MetricFailedSteals),
+		chunks:    reg.Counter(MetricChunks),
+		stealWait: reg.Histogram(MetricStealWait),
+		probes:    reg.Matrix(MetricProbes, workers),
+	}
 }
 
 // Result summarizes a parallel traversal.
@@ -144,6 +189,7 @@ type pool struct {
 	// so it reaches zero exactly when the traversal is complete —
 	// a race-free termination criterion.
 	pending atomic.Int64
+	met     *rtMetrics // nil when Config.Metrics is unset
 }
 
 // Run traverses the tree in parallel and returns exact statistics.
@@ -171,6 +217,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	p := &pool{cfg: cfg, workers: make([]*worker, cfg.Workers)}
+	p.met = newRTMetrics(cfg.Metrics, cfg.Workers)
 	for i := range p.workers {
 		p.workers[i] = &worker{
 			id:     i,
@@ -211,6 +258,13 @@ func Run(cfg Config) (*Result, error) {
 		res.Steals += w.steals
 		res.FailedSteals += w.fails
 		res.ChunksReleased += w.released
+	}
+	if reg := cfg.Metrics; reg != nil {
+		// Node totals come from the per-worker tallies at the end — one
+		// atomic per expansion would tax the hottest loop for a number
+		// that only settles at termination. The steal-side series are
+		// fed live so a /metrics scrape mid-run shows them moving.
+		reg.Counter(MetricNodes).Add(res.Nodes)
 	}
 	return res, nil
 }
@@ -276,19 +330,34 @@ func (p *pool) stealLoopDeque(w *worker) bool {
 	if p.cfg.Workers == 1 {
 		return false
 	}
+	var waitStart time.Time
+	if p.met != nil {
+		waitStart = time.Now()
+	}
 	for spins := 0; ; spins++ {
 		if p.pending.Load() == 0 {
 			return false
 		}
-		v := p.workers[p.selectVictim(w)]
+		vi := p.selectVictim(w)
+		v := p.workers[vi]
+		if p.met != nil {
+			p.met.probes.Inc(w.id, vi)
+		}
 		n, st := v.dq.Steal()
 		if st == deque.OK {
 			w.steals++
+			if p.met != nil {
+				p.met.steals.Inc()
+				p.met.stealWait.Observe(int64(time.Since(waitStart)))
+			}
 			w.dq.PushBottom(n)
 			return true
 		}
 		if st == deque.Empty {
 			w.fails++
+			if p.met != nil {
+				p.met.fails.Inc()
+			}
 		}
 		if spins%64 == 63 {
 			runtime.Gosched()
@@ -327,6 +396,9 @@ func (p *pool) release(w *worker) {
 	w.mu.Unlock()
 	w.local = append(w.local[:0], w.local[cs:]...)
 	w.released++
+	if p.met != nil {
+		p.met.chunks.Inc()
+	}
 }
 
 // reacquire pulls a chunk back from the worker's own shared stack. It
@@ -395,11 +467,19 @@ func (p *pool) stealLoop(w *worker) bool {
 	if p.cfg.Workers == 1 {
 		return false
 	}
+	var waitStart time.Time
+	if p.met != nil {
+		waitStart = time.Now()
+	}
 	for spins := 0; ; spins++ {
 		if p.pending.Load() == 0 {
 			return false
 		}
-		v := p.workers[p.selectVictim(w)]
+		vi := p.selectVictim(w)
+		v := p.workers[vi]
+		if p.met != nil {
+			p.met.probes.Inc(w.id, vi)
+		}
 		v.mu.Lock()
 		var loot []uts.Node
 		var k int
@@ -411,10 +491,17 @@ func (p *pool) stealLoop(w *worker) bool {
 		v.mu.Unlock()
 		if k > 0 {
 			w.steals++
+			if p.met != nil {
+				p.met.steals.Inc()
+				p.met.stealWait.Observe(int64(time.Since(waitStart)))
+			}
 			w.local = append(w.local, loot...)
 			return true
 		}
 		w.fails++
+		if p.met != nil {
+			p.met.fails.Inc()
+		}
 		if spins%64 == 63 {
 			runtime.Gosched()
 		}

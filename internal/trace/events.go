@@ -1,0 +1,126 @@
+package trace
+
+import "distws/internal/sim"
+
+// EventKind identifies one protocol-level trace event. The activity
+// trace (Transition/Session) answers *when* ranks were busy; the event
+// log answers *why*: where steal round trips go, which links carry the
+// failed-steal floods of the paper's Figure 7, and what the
+// termination tail looks like hop by hop.
+type EventKind uint8
+
+// The protocol event taxonomy. Send events are recorded on the sending
+// rank with Peer = destination; receive events on the receiving rank
+// with Peer = source. Arg is kind-specific (documented per kind).
+const (
+	// EvStealSend: a thief posts a steal request. Peer = victim,
+	// Arg = request id.
+	EvStealSend EventKind = iota
+	// EvStealRecv: the victim observes the request. Peer = thief,
+	// Arg = request id.
+	EvStealRecv
+	// EvWorkSend: the victim posts stolen work. Peer = thief,
+	// Arg = nodes transferred (the chunk-transfer size).
+	EvWorkSend
+	// EvWorkRecv: the thief receives work. Peer = victim, Arg = nodes.
+	EvWorkRecv
+	// EvNoWorkSend: the victim declines. Peer = thief, Arg = request id.
+	EvNoWorkSend
+	// EvNoWorkRecv: the thief receives the refusal. Peer = victim,
+	// Arg = request id.
+	EvNoWorkRecv
+	// EvStealAbort: the thief abandons an outstanding request (aborting
+	// steals). Peer = victim, Arg = request id.
+	EvStealAbort
+	// EvTokenSend: a termination token leaves a rank. Peer = successor.
+	EvTokenSend
+	// EvTokenRecv: a termination token arrives. Peer = predecessor.
+	EvTokenRecv
+	// EvTerminate: the rank observes termination. Peer = -1.
+	EvTerminate
+	// EvQuantumStart: a compute quantum begins. Peer = -1, Arg = the
+	// rank's stack length at quantum start.
+	EvQuantumStart
+	// EvQuantumEnd: a compute quantum ends. Peer = -1, Arg = the rank's
+	// cumulative expansion units (deltas between consecutive quantum
+	// ends give per-quantum work).
+	EvQuantumEnd
+
+	// NumEventKinds bounds the kind space for validation and tables.
+	NumEventKinds
+)
+
+var eventKindNames = [NumEventKinds]string{
+	EvStealSend:    "steal-send",
+	EvStealRecv:    "steal-recv",
+	EvWorkSend:     "work-send",
+	EvWorkRecv:     "work-recv",
+	EvNoWorkSend:   "nowork-send",
+	EvNoWorkRecv:   "nowork-recv",
+	EvStealAbort:   "steal-abort",
+	EvTokenSend:    "token-send",
+	EvTokenRecv:    "token-recv",
+	EvTerminate:    "terminate",
+	EvQuantumStart: "quantum-start",
+	EvQuantumEnd:   "quantum-end",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// ParseEventKind maps a wire name back to its kind.
+func ParseEventKind(s string) (EventKind, bool) {
+	for k, name := range eventKindNames {
+		if name == s {
+			return EventKind(k), true
+		}
+	}
+	return NumEventKinds, false
+}
+
+// Event is one protocol-level occurrence on one rank.
+type Event struct {
+	Time sim.Time
+	Kind EventKind
+	// Peer is the other rank involved, or -1 when the event is local.
+	Peer int
+	// Arg is the kind-specific payload (see the kind constants).
+	Arg int64
+}
+
+// TotalEvents returns the number of recorded protocol events across
+// ranks (excluding dropped ones).
+func (t *Trace) TotalEvents() int {
+	n := 0
+	for _, es := range t.Events {
+		n += len(es)
+	}
+	return n
+}
+
+// TotalEventsDropped returns the number of events evicted from the
+// bounded recording rings across ranks.
+func (t *Trace) TotalEventsDropped() uint64 {
+	var n uint64
+	for _, d := range t.EventsDropped {
+		n += d
+	}
+	return n
+}
+
+// EventCounts tallies the recorded events by kind.
+func (t *Trace) EventCounts() [NumEventKinds]uint64 {
+	var counts [NumEventKinds]uint64
+	for _, es := range t.Events {
+		for _, e := range es {
+			if e.Kind < NumEventKinds {
+				counts[e.Kind]++
+			}
+		}
+	}
+	return counts
+}

@@ -16,7 +16,9 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -71,6 +73,15 @@ type Trace struct {
 	Transitions [][]Transition
 	// Sessions per rank, time-ordered.
 	Sessions [][]Session
+	// Events is the protocol-level event log per rank, time-ordered;
+	// nil when event recording (internal/obs) was disabled. Events can
+	// carry timestamps past End: the terminate broadcast and in-flight
+	// tokens land after detection at rank 0.
+	Events [][]Event
+	// EventsDropped counts, per rank, the events evicted from the
+	// bounded recording ring (oldest first). Nonzero means the event
+	// log is a suffix of the run, not the whole run.
+	EventsDropped []uint64
 }
 
 // Ranks returns the number of ranks in the trace.
@@ -192,6 +203,25 @@ func (t *Trace) Validate() error {
 			}
 		}
 	}
+	if t.Events != nil && len(t.Events) != len(t.Transitions) {
+		return fmt.Errorf("trace: %d event ranks, %d transition ranks", len(t.Events), len(t.Transitions))
+	}
+	for rank, es := range t.Events {
+		for i, e := range es {
+			if e.Time < 0 {
+				return fmt.Errorf("trace: rank %d event %d at negative time %d", rank, i, e.Time)
+			}
+			if e.Kind >= NumEventKinds {
+				return fmt.Errorf("trace: rank %d event %d has unknown kind %d", rank, i, e.Kind)
+			}
+			if e.Peer < -1 || e.Peer >= t.Ranks() {
+				return fmt.Errorf("trace: rank %d event %d names invalid peer %d", rank, i, e.Peer)
+			}
+			if i > 0 && es[i-1].Time > e.Time {
+				return fmt.Errorf("trace: rank %d events out of order at %d", rank, i)
+			}
+		}
+	}
 	return nil
 }
 
@@ -290,6 +320,23 @@ func (t *Trace) shift(offsets []sim.Duration, clamp bool) *Trace {
 		}
 		out.Sessions[rank] = ncopy
 	}
+	if t.Events != nil {
+		out.Events = make([][]Event, t.Ranks())
+		for rank, es := range t.Events {
+			if es == nil {
+				continue
+			}
+			ncopy := make([]Event, len(es))
+			for i, e := range es {
+				e.Time = adj(rank, e.Time)
+				ncopy[i] = e
+			}
+			out.Events[rank] = ncopy
+		}
+	}
+	if t.EventsDropped != nil {
+		out.EventsDropped = append([]uint64(nil), t.EventsDropped...)
+	}
 	return out
 }
 
@@ -298,7 +345,7 @@ func (t *Trace) shift(offsets []sim.Duration, clamp bool) *Trace {
 
 // jsonRecord is the wire form of one trace line.
 type jsonRecord struct {
-	Kind  string   `json:"kind"` // "meta", "transition" or "session"
+	Kind  string   `json:"kind"` // "meta", "transition", "session", "event" or "drops"
 	Rank  int      `json:"rank,omitempty"`
 	Time  sim.Time `json:"t,omitempty"`
 	State string   `json:"state,omitempty"`
@@ -309,6 +356,12 @@ type jsonRecord struct {
 	Failed   int      `json:"failed,omitempty"`
 	Success  bool     `json:"success,omitempty"`
 	Ranks    int      `json:"ranks,omitempty"`
+	// Protocol-event fields. Peer 0 is omitted on the wire and decodes
+	// back to 0, so omitempty is lossless here; Peer -1 (no peer) is
+	// written explicitly. "drops" records reuse Arg for the count.
+	Ev   string `json:"ev,omitempty"`
+	Peer int    `json:"peer,omitempty"`
+	Arg  int64  `json:"arg,omitempty"`
 }
 
 // WriteJSONL serializes the trace as JSON Lines: a meta record followed
@@ -337,14 +390,87 @@ func (t *Trace) WriteJSONL(w io.Writer) error {
 			}
 		}
 	}
+	for rank, es := range t.Events {
+		for _, e := range es {
+			if err := enc.Encode(jsonRecord{
+				Kind: "event", Rank: rank, Time: e.Time,
+				Ev: e.Kind.String(), Peer: e.Peer, Arg: e.Arg,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	for rank, d := range t.EventsDropped {
+		if d == 0 {
+			continue
+		}
+		if err := enc.Encode(jsonRecord{Kind: "drops", Rank: rank, Arg: int64(d)}); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
-// ReadJSONL parses a trace previously written by WriteJSONL.
+// MaxLineBytes bounds one JSONL record line on read. Records written
+// by WriteJSONL are a few hundred bytes; a line past this limit means
+// the input is not a trace (binary junk, a concatenated corpus, a
+// pathological generator) and is rejected with a clear error instead
+// of being silently split or ballooning memory.
+const MaxLineBytes = 1 << 20
+
+// lineReader yields one JSONL record per call with line-accurate
+// errors for oversized, truncated, and corrupt input.
+type lineReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
+	return &lineReader{sc: sc}
+}
+
+// next decodes the next non-blank line into rec. It returns io.EOF at
+// clean end of input and a line-numbered error otherwise. A final line
+// cut off mid-record (no trailing newline, partial JSON) is reported
+// as truncated rather than as a bare syntax error.
+func (lr *lineReader) next(rec *jsonRecord) error {
+	for lr.sc.Scan() {
+		lr.line++
+		b := bytes.TrimSpace(lr.sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		*rec = jsonRecord{}
+		if err := json.Unmarshal(b, rec); err != nil {
+			var syn *json.SyntaxError
+			if errors.As(err, &syn) && syn.Offset >= int64(len(b)) {
+				return fmt.Errorf("trace: line %d: truncated record (file cut off mid-write?): %w", lr.line, err)
+			}
+			return fmt.Errorf("trace: line %d: corrupt record: %w", lr.line, err)
+		}
+		return nil
+	}
+	if err := lr.sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return fmt.Errorf("trace: line %d: record exceeds %d bytes — not a JSONL trace?", lr.line+1, MaxLineBytes)
+		}
+		return fmt.Errorf("trace: line %d: %w", lr.line+1, err)
+	}
+	return io.EOF
+}
+
+// ReadJSONL parses a trace previously written by WriteJSONL. Input is
+// read line by line with a bounded buffer (MaxLineBytes); corrupt,
+// truncated, or oversized lines produce errors naming the line.
 func ReadJSONL(r io.Reader) (*Trace, error) {
-	dec := json.NewDecoder(r)
+	lr := newLineReader(r)
 	var meta jsonRecord
-	if err := dec.Decode(&meta); err != nil {
+	if err := lr.next(&meta); err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: empty input, expected meta record")
+		}
 		return nil, fmt.Errorf("trace: reading meta record: %w", err)
 	}
 	if meta.Kind != "meta" || meta.Ranks <= 0 {
@@ -357,13 +483,14 @@ func ReadJSONL(r io.Reader) (*Trace, error) {
 	}
 	for {
 		var rec jsonRecord
-		if err := dec.Decode(&rec); err == io.EOF {
+		err := lr.next(&rec)
+		if err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("trace: reading record: %w", err)
+			return nil, err
 		}
 		if rec.Rank < 0 || rec.Rank >= meta.Ranks {
-			return nil, fmt.Errorf("trace: record for invalid rank %d", rec.Rank)
+			return nil, fmt.Errorf("trace: line %d: record for invalid rank %d", lr.line, rec.Rank)
 		}
 		switch rec.Kind {
 		case "transition":
@@ -377,14 +504,41 @@ func ReadJSONL(r io.Reader) (*Trace, error) {
 				Start: rec.Start, End: rec.End,
 				Attempts: rec.Attempts, Failed: rec.Failed, Success: rec.Success,
 			})
+		case "event":
+			kind, ok := ParseEventKind(rec.Ev)
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: unknown event kind %q", lr.line, rec.Ev)
+			}
+			if t.Events == nil {
+				t.Events = make([][]Event, meta.Ranks)
+			}
+			t.Events[rec.Rank] = append(t.Events[rec.Rank], Event{
+				Time: rec.Time, Kind: kind, Peer: rec.Peer, Arg: rec.Arg,
+			})
+		case "drops":
+			if t.EventsDropped == nil {
+				t.EventsDropped = make([]uint64, meta.Ranks)
+			}
+			if rec.Arg < 0 {
+				return nil, fmt.Errorf("trace: line %d: negative drop count %d", lr.line, rec.Arg)
+			}
+			t.EventsDropped[rec.Rank] = uint64(rec.Arg)
 		default:
-			return nil, fmt.Errorf("trace: unknown record kind %q", rec.Kind)
+			return nil, fmt.Errorf("trace: line %d: unknown record kind %q", lr.line, rec.Kind)
 		}
 	}
 	for rank := range t.Transitions {
 		sort.SliceStable(t.Transitions[rank], func(a, b int) bool {
 			return t.Transitions[rank][a].Time < t.Transitions[rank][b].Time
 		})
+	}
+	for rank := range t.Events {
+		sort.SliceStable(t.Events[rank], func(a, b int) bool {
+			return t.Events[rank][a].Time < t.Events[rank][b].Time
+		})
+	}
+	if t.Events != nil && t.EventsDropped == nil {
+		t.EventsDropped = make([]uint64, meta.Ranks)
 	}
 	return t, nil
 }
