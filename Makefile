@@ -6,7 +6,7 @@
 GO ?= go
 ARTIFACTS ?= artifacts
 
-.PHONY: build test vet distwsvet race lint obs-smoke check clean
+.PHONY: build test vet distwsvet race lint obs-smoke bench-json bench-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,30 @@ obs-smoke:
 	$(GO) run ./cmd/tracetool -in $(ARTIFACTS)/smoke.jsonl
 	$(GO) run ./cmd/tracetool -in $(ARTIFACTS)/smoke.jsonl -format json > $(ARTIFACTS)/smoke.report.json
 	$(GO) run ./cmd/obscheck $(ARTIFACTS)/smoke.jsonl $(ARTIFACTS)/smoke.chrome.json $(ARTIFACTS)/smoke.report.json
+
+# Hot-path benchmarks of the simulation substrate (event kernel,
+# messaging, latency lookup, UTS hashing), exported as a JSON artifact
+# for archiving and cross-commit comparison. BENCHTIME=1x gives the
+# CI smoke variant below; default is a real measurement.
+BENCHTIME ?= 1s
+BENCH_PKGS = ./internal/sim ./internal/comm ./internal/topology ./internal/uts
+BENCH_NAMES = BenchmarkKernelHotPath|BenchmarkCommSend|BenchmarkLatencyLookup|BenchmarkUTSChildGen
+
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_NAMES)' -benchmem \
+		-benchtime $(BENCHTIME) $(BENCH_PKGS) | \
+		$(GO) run ./cmd/benchjson \
+		-require KernelHotPath,CommSend,LatencyLookup,UTSChildGen \
+		-out BENCH_sim.json
+	@echo "bench-json: wrote BENCH_sim.json"
+
+# bench-smoke is the CI gate: one iteration of every hot-path benchmark
+# (so the loop bodies stay compilable and runnable) plus the alloc-gate
+# tests, which fail on any allocation regression in the kernel or the
+# messaging hot path.
+bench-smoke:
+	$(GO) test -run 'AllocFree' -count=1 $(BENCH_PKGS)
+	$(MAKE) bench-json BENCHTIME=1x
 
 check: build lint vet distwsvet test race obs-smoke
 	@echo "check: all gates passed"

@@ -1,0 +1,177 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document, so benchmark results can be archived as CI
+// artifacts and diffed across commits without scraping the text format.
+//
+//	go test -bench . -benchmem ./... | go run ./cmd/benchjson -out BENCH_sim.json
+//
+// Every benchmark result line becomes one entry (repeated -count runs
+// stay separate entries, letting consumers compute their own spread).
+// The tool fails when the stream contains no benchmark results or a
+// line it cannot parse, and with -require it also fails when a named
+// benchmark is missing — that is what lets CI treat a silently skipped
+// benchmark as an error instead of an empty artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `go test -bench` result line.
+type Benchmark struct {
+	// Name is the benchmark name with the "Benchmark" prefix and the
+	// -P GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Pkg is the import path the result was reported under.
+	Pkg        string  `json:"pkg"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -1 when the run lacked -benchmem.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	require := flag.String("require", "", "comma-separated benchmark names that must be present")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := checkRequired(rep, *require); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` output. Package banners (pkg:, goos:,
+// cpu:) set context; Benchmark lines become entries; everything else
+// (PASS, ok, test logs) is ignored.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseResult(line, pkg)
+			if err != nil {
+				return nil, err
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark results in input")
+	}
+	return rep, nil
+}
+
+// parseResult parses one result line:
+//
+//	BenchmarkKernelHotPath-8   7776040   150.0 ns/op   0 B/op   0 allocs/op
+func parseResult(line, pkg string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %v", line, err)
+	}
+	b := Benchmark{Name: name, Pkg: pkg, Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			if b.NsPerOp, err = strconv.ParseFloat(v, 64); err != nil {
+				return Benchmark{}, fmt.Errorf("bad ns/op in %q: %v", line, err)
+			}
+		case "B/op":
+			if b.BytesPerOp, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return Benchmark{}, fmt.Errorf("bad B/op in %q: %v", line, err)
+			}
+		case "allocs/op":
+			if b.AllocsPerOp, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return Benchmark{}, fmt.Errorf("bad allocs/op in %q: %v", line, err)
+			}
+		default:
+			// Custom ReportMetric units pass through unrecorded.
+		}
+	}
+	return b, nil
+}
+
+// checkRequired verifies every name in the comma-separated list appears
+// among the parsed results.
+func checkRequired(rep *Report, require string) error {
+	if require == "" {
+		return nil
+	}
+	for _, want := range strings.Split(require, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, b := range rep.Benchmarks {
+			if b.Name == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("required benchmark %q missing from input", want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: distws/internal/sim
+cpu: AMD EPYC 7B13
+BenchmarkKernelHotPath-8   	 7776040	       150.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	distws/internal/sim	1.318s
+pkg: distws/internal/comm
+BenchmarkCommSend 	36706946	        72.57 ns/op	       0 B/op	       0 allocs/op
+ok  	distws/internal/comm	2.964s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("environment banner lost: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	k := rep.Benchmarks[0]
+	if k.Name != "KernelHotPath" || k.Pkg != "distws/internal/sim" ||
+		k.Iterations != 7776040 || k.NsPerOp != 150.0 || k.BytesPerOp != 0 || k.AllocsPerOp != 0 {
+		t.Fatalf("kernel entry wrong: %+v", k)
+	}
+	c := rep.Benchmarks[1]
+	if c.Name != "CommSend" || c.Pkg != "distws/internal/comm" || c.NsPerOp != 72.57 {
+		t.Fatalf("comm entry wrong: %+v", c)
+	}
+}
+
+func TestParseWithoutBenchmem(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkX 	100	 5.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := rep.Benchmarks[0]; b.BytesPerOp != -1 || b.AllocsPerOp != -1 {
+		t.Fatalf("missing -benchmem columns must read -1, got %+v", b)
+	}
+}
+
+func TestParseRejectsEmptyAndMalformed(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok \tx\t0.1s\n")); err == nil {
+		t.Fatal("no error for input without benchmarks")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkBroken abc 5.0 ns/op\n")); err == nil {
+		t.Fatal("no error for malformed iteration count")
+	}
+}
+
+func TestCheckRequired(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkRequired(rep, "KernelHotPath, CommSend"); err != nil {
+		t.Fatalf("present benchmarks reported missing: %v", err)
+	}
+	if err := checkRequired(rep, "LatencyLookup"); err == nil {
+		t.Fatal("missing required benchmark not reported")
+	}
+}

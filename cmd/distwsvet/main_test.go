@@ -4,6 +4,9 @@ import (
 	"testing"
 
 	"distws/internal/analysis"
+	"distws/internal/analysis/atomicmix"
+	"distws/internal/analysis/detrand"
+	"distws/internal/analysis/lockcheck"
 	"distws/internal/analysis/walltime"
 )
 
@@ -46,5 +49,51 @@ func TestWalltimeAllowlistIsLoadBearing(t *testing.T) {
 	}
 	if len(diags) == 0 {
 		t.Fatal("internal/rt has no walltime findings without its allowlist entry; wallClockOK is stale")
+	}
+}
+
+// TestHotPathPackagesCleanWithoutAllowlists machine-checks the
+// performance-engineered hot path (event arena, message pool, latency
+// cache, batched hashing) against the determinism analyzers with every
+// exception stripped. Pooling and caching layers are where hidden
+// nondeterminism likes to creep in (map-ordered free lists, wall-clock
+// cache stamps), so these packages must hold the invariants on their
+// own merits: first assert none of them appears in a production
+// allowlist, then run detrand and walltime with no exceptions at all.
+func TestHotPathPackagesCleanWithoutAllowlists(t *testing.T) {
+	hot := []string{
+		"distws/internal/sim",
+		"distws/internal/comm",
+		"distws/internal/topology",
+		"distws/internal/uts",
+		"distws/internal/workstack",
+	}
+	exempt := append(append([]string{}, randExempt...), wallClockOK...)
+	for _, p := range hot {
+		for _, e := range exempt {
+			if p == e {
+				t.Fatalf("hot-path package %s is allowlisted (%v); the pooled/cached code must pass unexcepted", p, e)
+			}
+		}
+	}
+	pkgs, err := analysis.Load("../..", hot...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != len(hot) {
+		t.Fatalf("loaded %d packages, want %d", len(pkgs), len(hot))
+	}
+	bare := []*analysis.Analyzer{
+		detrand.New(nil),
+		walltime.New(virtualTime, nil),
+		lockcheck.New(),
+		atomicmix.New(),
+	}
+	diags, err := analysis.Run(pkgs, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding: %v", d)
 	}
 }

@@ -16,13 +16,24 @@
 //
 // All traffic is counted, per tag, for the statistics the paper reports
 // (steal requests, failures, work transfers).
+//
+// The send/deliver/poll cycle is the second-hottest loop of the
+// simulator (after the event kernel), so the package is written to be
+// allocation-free at steady state: Message objects come from a free
+// list (returned via Free), the fixed protocol kinds travel in typed
+// union fields instead of boxed `any` payloads, delivery is scheduled
+// through the kernel's closure-free AfterArg path, and per-rank
+// mailboxes are reusable ring buffers whose backing arrays are released
+// once they sit far above the recent high-water occupancy.
 package comm
 
 import (
 	"fmt"
 
 	"distws/internal/sim"
+	"distws/internal/term"
 	"distws/internal/topology"
+	"distws/internal/uts"
 )
 
 // Tag identifies the protocol role of a message.
@@ -62,11 +73,27 @@ func (t Tag) String() string {
 }
 
 // Message is one in-flight or delivered message.
+//
+// The fixed protocol kinds carry their data in the typed union fields
+// (ID, Nodes, Token) selected by Tag, so the hot protocol path never
+// boxes payloads into an interface. Extension protocols built on the
+// network (package dagws, tests) may instead ship arbitrary data in
+// Payload via the generic Send.
 type Message struct {
 	From, To int
 	Tag      Tag
-	// Payload carries protocol data; its concrete type depends on Tag.
+
+	// ID correlates a steal request with its reply; it is valid for
+	// TagStealRequest, TagWork and TagNoWork.
+	ID uint64
+	// Nodes is the stolen loot of a TagWork reply.
+	Nodes []uts.Node
+	// Token is the termination-detection token of a TagToken message.
+	Token term.Token
+	// Payload carries extension data for messages sent with the generic
+	// Send; nil for the typed protocol kinds.
 	Payload any
+
 	// Size is the modeled wire size in bytes, used for the bandwidth
 	// term of the latency model.
 	Size        int
@@ -93,15 +120,86 @@ func (s *Stats) TotalSent() uint64 {
 // SentByTag returns the number of messages sent with the given tag.
 func (s *Stats) SentByTag(tag Tag) uint64 { return s.Sent[tag] }
 
+// mailbox is one rank's delivered-but-unpolled queue: a ring buffer
+// that Poll drains in delivery order. Only deliveries add to it and a
+// poll removes everything, so the occupancy seen by Poll is exactly the
+// high-water mark since the previous poll.
+type mailbox struct {
+	buf  []*Message
+	head int // index of the oldest message
+	n    int // occupancy
+	hw   int // decaying high-water occupancy across recent polls
+}
+
+// mailboxShrinkMin is the smallest backing-array capacity worth
+// releasing; below it the shrink bookkeeping costs more than the
+// memory it could recover.
+const mailboxShrinkMin = 64
+
+func (m *mailbox) push(msg *Message) {
+	if m.n == len(m.buf) {
+		m.grow()
+	}
+	m.buf[(m.head+m.n)%len(m.buf)] = msg
+	m.n++
+}
+
+func (m *mailbox) grow() {
+	newCap := 2 * len(m.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]*Message, newCap)
+	for i := 0; i < m.n; i++ {
+		buf[i] = m.buf[(m.head+i)%len(m.buf)]
+	}
+	m.buf = buf
+	m.head = 0
+}
+
+// drainInto appends the queued messages, oldest first, to out and
+// empties the ring. A drain is also where the peak-capacity fix lives:
+// a burst of failed steals can balloon a mailbox to thousands of slots
+// that the steady state never fills again, so once the decaying
+// high-water occupancy sits far below the backing array's capacity the
+// array is released instead of pinning peak memory for the whole run.
+func (m *mailbox) drainInto(out []*Message) []*Message {
+	for i := 0; i < m.n; i++ {
+		msg := m.buf[(m.head+i)%len(m.buf)]
+		m.buf[(m.head+i)%len(m.buf)] = nil
+		out = append(out, msg)
+	}
+	// Halving decay: hw tracks the largest drain of the recent past and
+	// forgets a one-off burst within a few polls.
+	m.hw /= 2
+	if m.n > m.hw {
+		m.hw = m.n
+	}
+	m.head = 0
+	m.n = 0
+	if len(m.buf) >= mailboxShrinkMin && len(m.buf) > 8*m.hw {
+		m.buf = nil // re-grown on demand, sized to current traffic
+	}
+	return out
+}
+
 // Network is the simulated interconnect for one job.
 type Network struct {
 	kernel *sim.Kernel
 	job    *topology.Job
 	model  topology.LatencyModel
 
-	mailbox [][]*Message
+	mailbox []mailbox
 	notify  []func()
 	stats   Stats
+
+	// pool is the Message free list; Free returns messages to it.
+	pool []*Message
+	// pollBuf is per-rank scratch reused across Poll calls.
+	pollBuf [][]*Message
+	// deliver is the single delivery callback shared by all sends,
+	// scheduled through AfterArg so a send allocates no closure.
+	deliver func(any)
 }
 
 // New creates a network for the given job over the kernel. The latency
@@ -110,14 +208,24 @@ func New(k *sim.Kernel, job *topology.Job, model topology.LatencyModel) *Network
 	if model == nil {
 		panic("comm: nil latency model")
 	}
-	n := job.Ranks()
-	return &Network{
+	nranks := job.Ranks()
+	n := &Network{
 		kernel:  k,
 		job:     job,
-		model:   model,
-		mailbox: make([][]*Message, n),
-		notify:  make([]func(), n),
+		model:   topology.SendModel(model, job),
+		mailbox: make([]mailbox, nranks),
+		notify:  make([]func(), nranks),
+		pollBuf: make([][]*Message, nranks),
 	}
+	n.deliver = func(a any) {
+		m := a.(*Message)
+		m.DeliveredAt = n.kernel.Now()
+		n.mailbox[m.To].push(m)
+		if fn := n.notify[m.To]; fn != nil {
+			fn()
+		}
+	}
+	return n
 }
 
 // Ranks returns the number of ranks attached to the network.
@@ -129,24 +237,41 @@ func (n *Network) Job() *topology.Job { return n.job }
 // Stats returns a snapshot of the traffic counters.
 func (n *Network) Stats() Stats { return n.stats }
 
-// Send queues a message for delivery after the model's one-way latency.
-// It is valid to send to oneself (used by the token ring at N=1); the
+// alloc takes a zeroed Message from the free list, or the heap when the
+// list is empty.
+func (n *Network) alloc() *Message {
+	if last := len(n.pool) - 1; last >= 0 {
+		m := n.pool[last]
+		n.pool[last] = nil
+		n.pool = n.pool[:last]
+		return m
+	}
+	return &Message{}
+}
+
+// Free returns a polled message to the network's free list. Callers
+// that retain no reference to a message (or anything it carries) after
+// handling it should free it so the steady-state protocol traffic
+// recycles a small working set instead of allocating per send. Freeing
+// is optional — unfreed messages are simply collected — and a message
+// must not be used after it is freed.
+func (n *Network) Free(m *Message) {
+	*m = Message{}
+	n.pool = append(n.pool, m)
+}
+
+// send queues m for delivery after the model's one-way latency. It is
+// valid to send to oneself (used by the token ring at N=1); the
 // same-node latency applies.
-func (n *Network) Send(from, to int, tag Tag, payload any, size int) {
+func (n *Network) send(m *Message) {
+	from, to := m.From, m.To
 	if to < 0 || to >= len(n.mailbox) {
 		panic(fmt.Sprintf("comm: send to invalid rank %d", to))
 	}
-	m := &Message{
-		From:    from,
-		To:      to,
-		Tag:     tag,
-		Payload: payload,
-		Size:    size,
-		SentAt:  n.kernel.Now(),
-	}
-	n.stats.Sent[tag]++
-	n.stats.Bytes[tag] += uint64(size)
-	delay := n.model.Latency(n.job, from, to, size)
+	m.SentAt = n.kernel.Now()
+	n.stats.Sent[m.Tag]++
+	n.stats.Bytes[m.Tag] += uint64(m.Size)
+	delay := n.model.Latency(n.job, from, to, m.Size)
 	if delay < 0 {
 		panic(fmt.Sprintf("comm: negative latency %v", delay))
 	}
@@ -156,23 +281,52 @@ func (n *Network) Send(from, to int, tag Tag, payload any, size int) {
 		// request/reply livelocks in the simulator.
 		delay = 1
 	}
-	n.kernel.After(delay, func() {
-		m.DeliveredAt = n.kernel.Now()
-		n.mailbox[to] = append(n.mailbox[to], m)
-		if fn := n.notify[to]; fn != nil {
-			fn()
-		}
-	})
+	n.kernel.AfterArg(delay, n.deliver, m)
+}
+
+// Send queues a message whose payload is not one of the fixed protocol
+// kinds; extension protocols layered on the network use it. The typed
+// senders below cover the hot protocol traffic without boxing.
+func (n *Network) Send(from, to int, tag Tag, payload any, size int) {
+	m := n.alloc()
+	m.From, m.To, m.Tag, m.Payload, m.Size = from, to, tag, payload, size
+	n.send(m)
+}
+
+// SendID queues a protocol message that carries only a request id:
+// steal requests, no-work replies and the terminate broadcast.
+func (n *Network) SendID(from, to int, tag Tag, id uint64, size int) {
+	m := n.alloc()
+	m.From, m.To, m.Tag, m.ID, m.Size = from, to, tag, id, size
+	n.send(m)
+}
+
+// SendNodes queues a TagWork reply carrying stolen nodes for request id.
+func (n *Network) SendNodes(from, to int, id uint64, nodes []uts.Node, size int) {
+	m := n.alloc()
+	m.From, m.To, m.Tag, m.ID, m.Nodes, m.Size = from, to, TagWork, id, nodes, size
+	n.send(m)
+}
+
+// SendToken queues a TagToken message carrying a termination token.
+func (n *Network) SendToken(from, to int, tok term.Token, size int) {
+	m := n.alloc()
+	m.From, m.To, m.Tag, m.Token, m.Size = from, to, TagToken, tok, size
+	n.send(m)
 }
 
 // Poll drains and returns rank's delivered messages in delivery order.
-// It returns nil when the mailbox is empty.
+// It returns nil when the mailbox is empty. The returned slice is
+// scratch owned by the network: it is valid until the next Poll of the
+// same rank, so callers must not retain it. Callers done with a message
+// should pass it to Free.
 func (n *Network) Poll(rank int) []*Message {
-	msgs := n.mailbox[rank]
-	if len(msgs) == 0 {
+	mb := &n.mailbox[rank]
+	if mb.n == 0 {
 		return nil
 	}
-	n.mailbox[rank] = nil
+	msgs := mb.drainInto(n.pollBuf[rank][:0])
+	n.pollBuf[rank] = msgs[:0]
 	for _, m := range msgs {
 		n.stats.Received[m.Tag]++
 	}
@@ -180,7 +334,7 @@ func (n *Network) Poll(rank int) []*Message {
 }
 
 // Pending reports whether rank has delivered-but-unpolled messages.
-func (n *Network) Pending(rank int) bool { return len(n.mailbox[rank]) > 0 }
+func (n *Network) Pending(rank int) bool { return n.mailbox[rank].n > 0 }
 
 // SetNotify installs fn to be invoked (at delivery virtual time)
 // whenever a message is delivered to rank. Passing nil uninstalls it.

@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"distws/internal/sim"
+	"distws/internal/term"
 	"distws/internal/topology"
+	"distws/internal/uts"
 )
 
 func testNetwork(t *testing.T, nranks int) (*sim.Kernel, *Network) {
@@ -228,5 +230,87 @@ func TestZeroLatencyClampedToOneNanosecond(t *testing.T) {
 	}
 	if at != 1 {
 		t.Fatalf("zero-latency message delivered at %d, want clamped to 1ns", at)
+	}
+}
+
+func TestMailboxReleasesPeakCapacity(t *testing.T) {
+	k, n := testNetwork(t, 2)
+	// A burst — e.g. the flood of failed steals near termination —
+	// balloons the mailbox ring far past its steady-state occupancy.
+	const burst = 1000
+	for i := 0; i < burst; i++ {
+		n.Send(0, 1, TagWork, i, 8)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Poll(1)); got != burst {
+		t.Fatalf("drained %d messages, want %d", got, burst)
+	}
+	peak := len(n.mailbox[1].buf)
+	if peak < burst {
+		t.Fatalf("ring capacity %d never reached the burst size %d", peak, burst)
+	}
+	// Steady-state traffic is one message per poll; within a few polls
+	// the decaying high-water mark must let the ring release the
+	// burst-sized backing array instead of pinning it for the run.
+	for i := 0; i < 10; i++ {
+		n.Send(0, 1, TagWork, i, 8)
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(n.Poll(1)); got != 1 {
+			t.Fatalf("poll %d drained %d messages, want 1", i, got)
+		}
+	}
+	if got := len(n.mailbox[1].buf); got >= peak {
+		t.Fatalf("ring capacity still %d after steady-state polls, want it released below the %d peak", got, peak)
+	}
+}
+
+func TestMessagePoolRecyclesFreedMessages(t *testing.T) {
+	k, n := testNetwork(t, 2)
+	n.SendNodes(0, 1, 7, make([]uts.Node, 3), 60)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	msgs := n.Poll(1)
+	if len(msgs) != 1 {
+		t.Fatalf("polled %d messages, want 1", len(msgs))
+	}
+	first := msgs[0]
+	if first.Tag != TagWork || first.ID != 7 || len(first.Nodes) != 3 {
+		t.Fatalf("typed fields corrupted: %+v", first)
+	}
+	n.Free(first)
+	// The next send must reuse the freed message, fully re-zeroed: no
+	// stale loot or payload may leak between protocol messages.
+	n.SendID(1, 0, TagStealRequest, 9, 16)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	msgs = n.Poll(0)
+	if len(msgs) != 1 {
+		t.Fatalf("polled %d messages, want 1", len(msgs))
+	}
+	m := msgs[0]
+	if m != first {
+		t.Fatal("freed message not recycled by the pool")
+	}
+	if m.Tag != TagStealRequest || m.ID != 9 || m.Nodes != nil || m.Payload != nil || m.Token != (term.Token{}) {
+		t.Fatalf("recycled message carries stale state: %+v", m)
+	}
+}
+
+func TestSendTokenCarriesToken(t *testing.T) {
+	k, n := testNetwork(t, 2)
+	tok := term.Token{Color: term.Black, Count: 5, Round: 2}
+	n.SendToken(0, 1, tok, 16)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	msgs := n.Poll(1)
+	if len(msgs) != 1 || msgs[0].Tag != TagToken || msgs[0].Token != tok {
+		t.Fatalf("token message corrupted: %+v", msgs[0])
 	}
 }

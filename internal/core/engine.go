@@ -60,9 +60,9 @@ type rank struct {
 
 	// In-progress node expansion, resumable across quanta so that a
 	// high-fanout node (e.g. a root with thousands of children) does
-	// not create a polling blackout. expNext < expTotal while children
-	// of expNode remain to generate.
-	expNode           uts.Node
+	// not create a polling blackout. The node being expanded is staged
+	// in gen; expNext < expTotal while children remain to generate.
+	gen               uts.ChildGen
 	expNext, expTotal int
 
 	// Steal statistics.
@@ -82,8 +82,8 @@ type rank struct {
 	// are processed at the next poll.
 	deferred []*comm.Message
 
-	// quantum is the pending quantum-end event, if any.
-	quantum *sim.Event
+	// quantum is the pending quantum-end event, if any (zero when none).
+	quantum sim.Event
 	// extraDelay accumulates steal-response packaging costs that push
 	// the next quantum start.
 	extraDelay sim.Duration
@@ -100,6 +100,13 @@ type engine struct {
 	ev     *obs.Recorder  // protocol event rings; nil when disabled
 	met    *engineMetrics // registry handles; nil when disabled
 	ranks  []rank
+
+	// rankArg[r] is rank r's index boxed once at startup, and
+	// quantumEndFn the shared quantum-end callback: together they let
+	// startQuantum schedule through the kernel's closure-free AfterArg
+	// path instead of allocating a closure per quantum.
+	rankArg      []any
+	quantumEndFn func(any)
 
 	backoffCfg Backoff
 
@@ -204,6 +211,11 @@ func Run(cfg Config) (*Result, error) {
 		e.ev = obs.NewRecorder(cfg.Ranks, cfg.EventBuffer)
 	}
 	e.met = newEngineMetrics(cfg.Metrics, cfg.Ranks)
+	e.rankArg = make([]any, cfg.Ranks)
+	e.quantumEndFn = func(a any) { e.quantumEnd(a.(int)) }
+	for i := range e.rankArg {
+		e.rankArg[i] = i
+	}
 	for i := range e.ranks {
 		e.ranks[i].stack = workstack.New(cfg.ChunkSize)
 		e.ranks[i].pendingVictim = -1
@@ -275,7 +287,7 @@ func (e *engine) startQuantum(r int) {
 	start := rk.units
 	for rk.units-start < uint64(e.cfg.PollInterval) {
 		if rk.expNext < rk.expTotal {
-			rk.stack.Push(e.cfg.Tree.Child(&rk.expNode, rk.expNext))
+			rk.stack.Push(rk.gen.Child(rk.expNext))
 			rk.expNext++
 			rk.units++
 			continue
@@ -288,24 +300,23 @@ func (e *engine) startQuantum(r int) {
 		if node.Height > rk.maxDepth {
 			rk.maxDepth = node.Height
 		}
-		nchild := e.cfg.Tree.NumChildren(&node)
+		nchild := rk.gen.Reset(e.cfg.Tree, &node)
 		if nchild == 0 {
 			rk.leaves++
 			rk.units++
 			continue
 		}
-		rk.expNode = node
 		rk.expNext = 0
 		rk.expTotal = nchild
 	}
 	dur := sim.Duration(rk.units-start)*e.cfg.NodeCost + rk.extraDelay
 	rk.extraDelay = 0
-	rk.quantum = e.kernel.After(dur, func() { e.quantumEnd(r) })
+	rk.quantum = e.kernel.AfterArg(dur, e.quantumEndFn, e.rankArg[r])
 }
 
 func (e *engine) quantumEnd(r int) {
 	rk := &e.ranks[r]
-	rk.quantum = nil
+	rk.quantum = sim.Event{}
 	if rk.state == rsDone {
 		return
 	}
@@ -348,17 +359,6 @@ func (e *engine) goIdle(r int) {
 	e.sendSteal(r)
 }
 
-// stealRequest and the reply payloads carry the request id so that
-// aborting thieves can recognize stale replies.
-type stealRequest struct{ ID uint64 }
-
-type workReply struct {
-	ID    uint64
-	Nodes []uts.Node
-}
-
-type noWorkReply struct{ ID uint64 }
-
 // sendSteal picks the next victim and posts a steal request, arming the
 // abort timer when aborting steals are enabled.
 func (e *engine) sendSteal(r int) {
@@ -375,7 +375,7 @@ func (e *engine) sendSteal(r int) {
 		e.met.stealRequests.Inc()
 	}
 	e.met.link(r, v)
-	e.net.Send(r, v, comm.TagStealRequest, stealRequest{ID: id}, 16)
+	e.net.SendID(r, v, comm.TagStealRequest, id, 16)
 	if e.cfg.StealTimeout > 0 {
 		e.kernel.After(e.cfg.StealTimeout, func() { e.abortSteal(r, v, id) })
 	}
@@ -419,6 +419,7 @@ func (e *engine) onDelivery(r int) {
 			for _, m := range e.net.Poll(r) {
 				if m.Tag == comm.TagStealRequest {
 					e.handle(r, m)
+					e.net.Free(m)
 				} else {
 					rk.deferred = append(rk.deferred, m)
 				}
@@ -430,14 +431,22 @@ func (e *engine) onDelivery(r int) {
 }
 
 // pollMailbox drains and handles all delivered (and deferred) messages
-// for rank r.
+// for rank r. Handling never re-enters a poll of the same rank (sends
+// deliver at least 1ns later), so the network's Poll scratch can be
+// walked in place and each message freed as soon as it is handled.
 func (e *engine) pollMailbox(r int) {
 	rk := &e.ranks[r]
-	msgs := rk.deferred
-	rk.deferred = nil
-	msgs = append(msgs, e.net.Poll(r)...)
-	for _, m := range msgs {
+	if len(rk.deferred) > 0 {
+		msgs := rk.deferred
+		rk.deferred = rk.deferred[:0]
+		for _, m := range msgs {
+			e.handle(r, m)
+			e.net.Free(m)
+		}
+	}
+	for _, m := range e.net.Poll(r) {
 		e.handle(r, m)
+		e.net.Free(m)
 	}
 }
 
@@ -445,7 +454,7 @@ func (e *engine) handle(r int, m *comm.Message) {
 	rk := &e.ranks[r]
 	switch m.Tag {
 	case comm.TagStealRequest:
-		e.handleStealRequest(r, m.From, m.Payload.(stealRequest).ID)
+		e.handleStealRequest(r, m.From, m.ID)
 
 	case comm.TagWork:
 		if rk.state == rsDone {
@@ -454,7 +463,6 @@ func (e *engine) handle(r int, m *comm.Message) {
 			// which flags the run as premature.
 			return
 		}
-		reply := m.Payload.(workReply)
 		now := e.kernel.Now()
 		// Work is always accepted — even a reply to an aborted request
 		// (the nodes would otherwise be lost). Safra's counters must see
@@ -465,13 +473,13 @@ func (e *engine) handle(r int, m *comm.Message) {
 		rk.successes++
 		rk.consecFails = 0
 		rk.backoff = 0
-		e.ev.Record(r, now, trace.EvWorkRecv, m.From, int64(len(reply.Nodes)))
+		e.ev.Record(r, now, trace.EvWorkRecv, m.From, int64(len(m.Nodes)))
 		if e.met != nil {
 			e.met.stealSuccess.Inc()
 		}
 		switch rk.state {
 		case rsSearching, rsBackoff:
-			if rk.state == rsSearching && reply.ID == rk.reqID {
+			if rk.state == rsSearching && m.ID == rk.reqID {
 				rk.searchWait += now.Sub(rk.waitStart)
 				if e.met != nil {
 					e.met.stealLatency.Observe(int64(now.Sub(rk.waitStart)))
@@ -486,19 +494,18 @@ func (e *engine) handle(r int, m *comm.Message) {
 				e.met.session.Observe(int64(now.Sub(rk.idleSince)))
 			}
 			e.recordState(r, now, trace.Active)
-			rk.stack.Acquire(reply.Nodes)
+			rk.stack.Acquire(m.Nodes)
 			e.startQuantum(r)
 		case rsWorking:
 			// Late reply to an aborted request: just bank the nodes.
-			rk.stack.Acquire(reply.Nodes)
+			rk.stack.Acquire(m.Nodes)
 		}
 
 	case comm.TagNoWork:
 		if rk.state == rsDone {
 			return
 		}
-		reply := m.Payload.(noWorkReply)
-		if rk.state != rsSearching || reply.ID != rk.reqID {
+		if rk.state != rsSearching || m.ID != rk.reqID {
 			// Stale reply to an aborted request.
 			return
 		}
@@ -507,7 +514,7 @@ func (e *engine) handle(r int, m *comm.Message) {
 		rk.fails++
 		rk.consecFails++
 		rk.pendingVictim = -1
-		e.ev.Record(r, now, trace.EvNoWorkRecv, m.From, int64(reply.ID))
+		e.ev.Record(r, now, trace.EvNoWorkRecv, m.From, int64(m.ID))
 		if e.met != nil {
 			e.met.stealFail.Inc()
 			e.met.stealLatency.Observe(int64(now.Sub(rk.waitStart)))
@@ -524,7 +531,7 @@ func (e *engine) handle(r int, m *comm.Message) {
 			e.met.tokenHops.Inc()
 		}
 		idle := rk.state != rsWorking
-		e.forwardTokens(e.det.OnToken(r, m.Payload.(term.Token), idle))
+		e.forwardTokens(e.det.OnToken(r, m.Token, idle))
 		e.checkTermination()
 
 	case comm.TagTerminate:
@@ -545,7 +552,7 @@ func (e *engine) handleStealRequest(v, thief int, id uint64) {
 		// terminate message. Answer no-work to be safe.
 		e.ev.Record(v, now, trace.EvNoWorkSend, thief, int64(id))
 		e.met.link(v, thief)
-		e.net.Send(v, thief, comm.TagNoWork, noWorkReply{ID: id}, 16)
+		e.net.SendID(v, thief, comm.TagNoWork, id, 16)
 		return
 	}
 	// Answering costs the victim compute time whether or not it has
@@ -569,7 +576,7 @@ func (e *engine) handleStealRequest(v, thief int, id uint64) {
 	if chunks == 0 {
 		e.ev.Record(v, now, trace.EvNoWorkSend, thief, int64(id))
 		e.met.link(v, thief)
-		e.net.Send(v, thief, comm.TagNoWork, noWorkReply{ID: id}, 16)
+		e.net.SendID(v, thief, comm.TagNoWork, id, 16)
 		return
 	}
 	e.det.WorkSent(v)
@@ -583,7 +590,7 @@ func (e *engine) handleStealRequest(v, thief int, id uint64) {
 	if e.met != nil {
 		e.met.chunkNodes.Observe(int64(len(loot)))
 	}
-	e.net.Send(v, thief, comm.TagWork, workReply{ID: id, Nodes: loot}, len(loot)*uts.NodeBytes)
+	e.net.SendNodes(v, thief, id, loot, len(loot)*uts.NodeBytes)
 }
 
 // retryOrBackoff continues an idle rank's search, inserting a pause
@@ -618,7 +625,7 @@ func (e *engine) forwardTokens(sends []term.Send) {
 		from := (s.To - 1 + e.cfg.Ranks) % e.cfg.Ranks
 		e.ev.Record(from, e.kernel.Now(), trace.EvTokenSend, s.To, 0)
 		e.met.link(from, s.To)
-		e.net.Send(from, s.To, comm.TagToken, s.Token, term.TokenBytes)
+		e.net.SendToken(from, s.To, s.Token, term.TokenBytes)
 	}
 }
 
@@ -636,7 +643,7 @@ func (e *engine) checkTermination() bool {
 	// Detection happens at rank 0 for both detectors.
 	e.finishRank(0)
 	for r := 1; r < e.cfg.Ranks; r++ {
-		e.net.Send(0, r, comm.TagTerminate, nil, 8)
+		e.net.SendID(0, r, comm.TagTerminate, 0, 8)
 	}
 	return true
 }
@@ -652,10 +659,8 @@ func (e *engine) finishRank(r int) {
 	if e.rec != nil && rk.state != rsWorking {
 		e.rec.EndSession(r, now, false)
 	}
-	if rk.quantum != nil {
-		e.kernel.Cancel(rk.quantum)
-		rk.quantum = nil
-	}
+	e.kernel.Cancel(rk.quantum) // no-op when no quantum is pending
+	rk.quantum = sim.Event{}
 	rk.state = rsDone
 	e.doneCount++
 }

@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// checkInvariants verifies the structural invariants of the arena
+// kernel: heap order, index tracking, free-list consistency and the
+// live-event count. It must hold between any two kernel operations.
+func (k *Kernel) checkInvariants() error {
+	seen := make(map[int32]bool, len(k.heap))
+	liveCount := 0
+	for i, e := range k.heap {
+		n := &k.arena[e.idx]
+		if n.when != e.when || n.seq != e.seq {
+			return fmt.Errorf("heap[%d] key (%d,%d) disagrees with slot %d key (%d,%d)",
+				i, e.when, e.seq, e.idx, n.when, n.seq)
+		}
+		if seen[e.idx] {
+			return fmt.Errorf("slot %d appears twice in the heap", e.idx)
+		}
+		seen[e.idx] = true
+		if !n.cancelled {
+			liveCount++
+		}
+		if i > 0 {
+			parent := k.heap[(i-1)/4]
+			if entryLess(e, parent) {
+				return fmt.Errorf("heap order violated at %d: (%d,%d) < parent (%d,%d)",
+					i, e.when, e.seq, parent.when, parent.seq)
+			}
+		}
+	}
+	if liveCount != k.live {
+		return fmt.Errorf("live = %d, heap holds %d non-cancelled events", k.live, liveCount)
+	}
+	for _, idx := range k.free {
+		if seen[idx] {
+			return fmt.Errorf("slot %d is both queued and free", idx)
+		}
+		seen[idx] = true
+	}
+	if len(k.heap)+len(k.free) != len(k.arena) {
+		return fmt.Errorf("arena accounting: %d heap + %d free != %d slots",
+			len(k.heap), len(k.free), len(k.arena))
+	}
+	return nil
+}
+
+// TestCancelThenRescheduleSameTimestamp covers the free-list round
+// trip the engine performs when a rank's quantum is cancelled and a
+// replacement lands on the same virtual time: the recycled slot must
+// get a fresh sequence number, preserving FIFO order among survivors.
+func TestCancelThenRescheduleSameTimestamp(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.At(10, func() { order = append(order, "a") })
+	e := k.At(10, func() { order = append(order, "dead") })
+	k.At(10, func() { order = append(order, "b") })
+	k.Cancel(e)
+	// The replacement reuses the freed slot but schedules after "b".
+	k.At(10, func() { order = append(order, "c") })
+	if err := k.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "[a b c]"
+	if got := fmt.Sprint(order); got != want {
+		t.Fatalf("dispatch order %v, want %v", got, want)
+	}
+}
+
+// TestCancelDuringDispatch cancels a same-timestamp event from inside
+// a running callback: the victim is already in the heap, possibly at
+// the root, and must be skipped, not dispatched.
+func TestCancelDuringDispatch(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	var victim Event
+	k.At(5, func() { k.Cancel(victim) })
+	victim = k.At(5, func() { ran = true })
+	survivor := 0
+	k.At(5, func() { survivor++ })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("event cancelled during dispatch still ran")
+	}
+	if survivor != 1 {
+		t.Fatalf("survivor ran %d times, want 1", survivor)
+	}
+	if err := k.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelSelfDuringDispatch: a callback cancelling its own (now
+// stale) handle must be a no-op — the slot may already host another
+// event.
+func TestCancelSelfDuringDispatch(t *testing.T) {
+	k := NewKernel()
+	var self Event
+	ran := false
+	self = k.At(3, func() {
+		k.Cancel(self) // stale: we are already dispatched
+		k.At(4, func() { ran = true })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("follow-up event lost to a stale self-cancel")
+	}
+}
+
+// TestPendingExcludesCancelled asserts the queue-depth accounting the
+// tests rely on: cancelled events are not pending work.
+func TestPendingExcludesCancelled(t *testing.T) {
+	k := NewKernel()
+	var events []Event
+	for i := 0; i < 10; i++ {
+		events = append(events, k.At(Time(i+1), func() {}))
+	}
+	if k.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", k.Pending())
+	}
+	for i := 0; i < 10; i += 2 {
+		k.Cancel(events[i])
+	}
+	if k.Pending() != 5 {
+		t.Fatalf("Pending = %d after cancelling 5, want 5", k.Pending())
+	}
+	k.Cancel(events[0]) // double cancel must not skew the count
+	if k.Pending() != 5 {
+		t.Fatalf("Pending = %d after double cancel, want 5", k.Pending())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", k.Pending())
+	}
+}
+
+// TestStepHonorsLimits: Step must enforce the same event and time
+// limits as Run instead of dispatching past them.
+func TestStepHonorsLimits(t *testing.T) {
+	k := NewKernel()
+	k.SetEventLimit(2)
+	n := 0
+	for i := 1; i <= 4; i++ {
+		k.At(Time(i), func() { n++ })
+	}
+	for k.Step() {
+	}
+	if n != 2 {
+		t.Fatalf("Step dispatched %d events past a limit of 2", n)
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", k.Pending())
+	}
+
+	k2 := NewKernel()
+	k2.SetTimeLimit(10)
+	ran := false
+	k2.At(5, func() {})
+	k2.At(20, func() { ran = true })
+	if !k2.Step() {
+		t.Fatal("Step refused an event inside the time limit")
+	}
+	if k2.Step() {
+		t.Fatal("Step dispatched an event beyond the time limit")
+	}
+	if ran {
+		t.Fatal("event beyond the time limit ran")
+	}
+	if k2.Now() != 5 {
+		t.Fatalf("clock = %d, want 5", k2.Now())
+	}
+}
+
+// TestStepSkipsCancelled: Step must not report a dispatch for events
+// that were cancelled, and must reclaim their slots.
+func TestStepSkipsCancelled(t *testing.T) {
+	k := NewKernel()
+	e := k.At(1, func() { t.Fatal("cancelled event ran") })
+	k.Cancel(e)
+	ran := false
+	k.At(2, func() { ran = true })
+	if !k.Step() {
+		t.Fatal("Step returned false with a live event queued")
+	}
+	if !ran {
+		t.Fatal("Step dispatched the wrong event")
+	}
+	if k.Step() {
+		t.Fatal("Step returned true on an empty queue")
+	}
+	if err := k.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArenaMixedOpsFuzz drives the kernel through 10^5 randomized
+// schedule / cancel / dispatch operations against a reference model,
+// asserting after every phase that the heap invariants hold, that
+// dispatch order is globally sorted by (time, scheduling order), that
+// cancelled events never run, and that every surviving event runs
+// exactly once.
+func TestArenaMixedOpsFuzz(t *testing.T) {
+	const ops = 100_000
+	rng := rand.New(rand.NewSource(20260805))
+	k := NewKernel()
+
+	type ref struct {
+		id        int
+		when      Time
+		cancelled bool
+	}
+	handles := make(map[int]Event) // live, not yet dispatched (as far as the model knows)
+	model := make(map[int]*ref)
+	var dispatched []int
+	nextID := 0
+	liveIDs := make([]int, 0, ops)
+
+	scheduleOne := func() {
+		id := nextID
+		nextID++
+		when := k.Now().Add(Duration(rng.Intn(1000)))
+		model[id] = &ref{id: id, when: when}
+		handles[id] = k.At(when, func() { dispatched = append(dispatched, id) })
+		liveIDs = append(liveIDs, id)
+	}
+
+	for i := 0; i < ops; i++ {
+		switch p := rng.Intn(100); {
+		case p < 55:
+			scheduleOne()
+		case p < 75:
+			if len(liveIDs) == 0 {
+				scheduleOne()
+				continue
+			}
+			j := rng.Intn(len(liveIDs))
+			id := liveIDs[j]
+			liveIDs[j] = liveIDs[len(liveIDs)-1]
+			liveIDs = liveIDs[:len(liveIDs)-1]
+			// May be a stale handle (already dispatched): Cancel must be
+			// a no-op then; the model only marks truly pending events.
+			if k.Live(handles[id]) {
+				model[id].cancelled = true
+			}
+			k.Cancel(handles[id])
+		default:
+			k.Step()
+		}
+		if i%5000 == 0 {
+			if err := k.checkInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	for k.Step() {
+	}
+	if err := k.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", k.Pending())
+	}
+
+	// Every dispatched id must be unique, non-cancelled, and in global
+	// (when, seq) order. Ids are allocated in scheduling order, so for
+	// equal timestamps the id order is the required FIFO order.
+	seen := make(map[int]bool, len(dispatched))
+	for i, id := range dispatched {
+		if seen[id] {
+			t.Fatalf("event %d dispatched twice", id)
+		}
+		seen[id] = true
+		r := model[id]
+		if r.cancelled {
+			t.Fatalf("cancelled event %d ran", id)
+		}
+		if i > 0 {
+			prev := model[dispatched[i-1]]
+			if r.when < prev.when {
+				t.Fatalf("dispatch order violated: %d@%d after %d@%d",
+					id, r.when, prev.id, prev.when)
+			}
+			if r.when == prev.when && id < prev.id {
+				t.Fatalf("FIFO tie-break violated at t=%d: id %d after id %d",
+					r.when, id, prev.id)
+			}
+		}
+	}
+	for id, r := range model {
+		if !r.cancelled && !seen[id] {
+			t.Fatalf("event %d lost: neither cancelled nor dispatched", id)
+		}
+	}
+	if len(dispatched) == 0 {
+		t.Fatal("fuzz dispatched nothing")
+	}
+}

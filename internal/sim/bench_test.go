@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelHotPath exercises the kernel's steady-state scheduling
+// loop the way the engine drives it: a population of concurrent timers
+// (one per simulated rank) that each reschedule themselves on dispatch,
+// with a fraction of schedules cancelled and immediately replaced —
+// the quantum-cancel pattern finishRank and aborting steals produce.
+// The alloc gate (TestKernelHotPathAllocFree) requires this loop to be
+// allocation-free after warm-up.
+func BenchmarkKernelHotPath(b *testing.B) {
+	k := NewKernel()
+	const lanes = 64
+	var fns [lanes]func()
+	done := 0
+	for i := 0; i < lanes; i++ {
+		i := i
+		fns[i] = func() {
+			done++
+			if done >= b.N {
+				return
+			}
+			e := k.After(Duration(1+i%7), fns[i])
+			if i%5 == 0 {
+				// Cancel-and-reschedule at a nearby timestamp: exercises
+				// the cancellation path under load.
+				k.Cancel(e)
+				k.After(Duration(1+i%3), fns[i])
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < lanes; i++ {
+		k.After(Duration(i), fns[i])
+	}
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestKernelHotPathAllocFree is the alloc gate for the scheduling hot
+// path: after warm-up (arena and heap at steady-state capacity),
+// schedule / cancel / dispatch must not allocate at all.
+func TestKernelHotPathAllocFree(t *testing.T) {
+	k := NewKernel()
+	remaining := 0
+	var fn func()
+	fn = func() {
+		remaining--
+		if remaining > 0 {
+			e := k.After(Duration(1+remaining%7), fn)
+			if remaining%5 == 0 {
+				k.Cancel(e)
+				k.After(1, fn)
+			}
+		}
+	}
+	body := func() {
+		remaining = 2000
+		k.After(1, fn)
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body() // reach steady-state capacity before measuring
+	if got := testing.AllocsPerRun(20, body); got != 0 {
+		t.Fatalf("kernel hot path allocates %.1f allocs/run, want 0", got)
+	}
+}

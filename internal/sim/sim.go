@@ -11,10 +11,24 @@
 // operations and lose determinism; instead each simulated entity is an
 // event-driven state machine and the harness parallelizes across
 // independent simulations.
+//
+// # Implementation
+//
+// The queue is an indexed 4-ary min-heap over an event arena with a
+// free list: the heap orders lightweight (time, seq, slot) entries
+// rather than boxed pointers, and slots are recycled in place. Scheduling never touches the garbage
+// collector after warm-up: event nodes are recycled through the free
+// list and callers hold generation-stamped Event handles instead of
+// node pointers. Cancel is O(1) lazy deletion — it marks the node and
+// lets the dispatch loop free it when it surfaces; the slot's
+// generation counter makes any stale handle to a recycled slot
+// harmless, so no heap back-pointers need maintaining in the sift
+// loops. A 4-ary layout halves the tree depth of the binary heap and
+// keeps the hot sift loops free of interface calls, which is where the
+// container/heap predecessor of this kernel spent most of its time.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -64,64 +78,61 @@ func (d Duration) String() string {
 	}
 }
 
-// Event is a scheduled callback. The callback runs with the kernel clock
-// set to the event's timestamp.
+// Event is a handle to a scheduled callback: an arena slot stamped with
+// the slot's generation at scheduling time. Handles are small values,
+// freely copyable, and never dangle — once the event dispatches, is
+// cancelled, or its slot is recycled, the generation no longer matches
+// and every operation on the stale handle is a no-op. The zero Event
+// refers to nothing.
 type Event struct {
+	idx int32
+	gen uint32
+}
+
+// eventNode is one arena slot.
+type eventNode struct {
 	when Time
 	seq  uint64
-	fn   func()
-	// index in the heap, or -1 when not queued. Maintained by eventHeap.
-	index int
-	// cancelled events stay in the heap but are skipped on dispatch;
-	// this avoids O(n) removal.
+	// Exactly one of fn / afn is set. afn carries its argument in arg,
+	// letting callers schedule a preallocated function with a varying
+	// pointer argument without closure allocation.
+	fn  func()
+	afn func(any)
+	arg any
+	// gen is incremented every time the slot is freed, invalidating
+	// outstanding handles.
+	gen       uint32
 	cancelled bool
 }
 
-// When returns the virtual time the event is scheduled for.
-func (e *Event) When() Time { return e.when }
+// heapEntry is one queue position. The sort key (when, seq) is stored
+// inline so the sift loops compare contiguous heap memory instead of
+// chasing arena slots — the single biggest cache effect on the hot
+// path.
+type heapEntry struct {
+	when Time
+	seq  uint64
+	idx  int32
+}
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancelled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+func entryLess(a, b heapEntry) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Kernel is a discrete-event simulation engine.
 //
 // The zero value is not usable; construct with NewKernel.
 type Kernel struct {
-	now        Time
-	queue      eventHeap
+	now   Time
+	arena []eventNode
+	free  []int32     // recycled arena slots
+	heap  []heapEntry // 4-ary min-heap ordered by (when, seq)
+	// live counts queued, non-cancelled events. Cancelled nodes stay in
+	// the heap until they surface, so len(heap) may exceed live.
+	live       int
 	seq        uint64
 	dispatched uint64
 	running    bool
@@ -142,9 +153,10 @@ func (k *Kernel) Now() Time { return k.now }
 // Dispatched returns the number of events executed so far.
 func (k *Kernel) Dispatched() uint64 { return k.dispatched }
 
-// Pending returns the number of events waiting in the queue, including
-// cancelled events that have not yet been skipped.
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending returns the number of events waiting in the queue. Cancelled
+// events are not counted: they are dead weight awaiting lazy removal,
+// not work the simulation will perform.
+func (k *Kernel) Pending() int { return k.live }
 
 // SetEventLimit bounds the total number of dispatched events. Run returns
 // ErrEventLimit once the limit is exceeded. Zero disables the limit.
@@ -161,35 +173,175 @@ var (
 	ErrReentrant  = errors.New("sim: Run called reentrantly")
 )
 
+// alloc returns a usable arena slot index, recycling freed slots.
+func (k *Kernel) alloc() int32 {
+	if n := len(k.free); n > 0 {
+		idx := k.free[n-1]
+		k.free = k.free[:n-1]
+		return idx
+	}
+	k.arena = append(k.arena, eventNode{gen: 1})
+	return int32(len(k.arena) - 1)
+}
+
+// freeNode recycles a slot that left the heap, invalidating handles.
+func (k *Kernel) freeNode(idx int32) {
+	n := &k.arena[idx]
+	n.gen++
+	if n.gen == 0 { // generation wrap: keep 0 reserved for the zero Event
+		n.gen = 1
+	}
+	n.fn, n.afn, n.arg = nil, nil, nil
+	n.cancelled = false
+	k.free = append(k.free, idx)
+}
+
+// push inserts an entry into the heap.
+func (k *Kernel) push(e heapEntry) {
+	k.heap = append(k.heap, e)
+	k.siftUp(len(k.heap) - 1)
+}
+
+// popMin removes the heap root (callers read heap[0] first).
+func (k *Kernel) popMin() {
+	last := len(k.heap) - 1
+	k.heap[0] = k.heap[last]
+	k.heap = k.heap[:last]
+	if last > 0 {
+		k.siftDown(0)
+	}
+}
+
+func (k *Kernel) siftUp(i int) {
+	e := k.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !entryLess(e, k.heap[parent]) {
+			break
+		}
+		k.heap[i] = k.heap[parent]
+		i = parent
+	}
+	k.heap[i] = e
+}
+
+func (k *Kernel) siftDown(i int) {
+	e := k.heap[i]
+	n := len(k.heap)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if entryLess(k.heap[c], k.heap[min]) {
+				min = c
+			}
+		}
+		if !entryLess(k.heap[min], e) {
+			break
+		}
+		k.heap[i] = k.heap[min]
+		i = min
+	}
+	k.heap[i] = e
+}
+
+// schedule allocates, initializes and enqueues one event node.
+func (k *Kernel) schedule(t Time, fn func(), afn func(any), arg any) Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
+	}
+	idx := k.alloc()
+	n := &k.arena[idx]
+	n.when = t
+	n.seq = k.seq
+	n.fn, n.afn, n.arg = fn, afn, arg
+	k.seq++
+	k.live++
+	k.push(heapEntry{when: t, seq: n.seq, idx: idx})
+	return Event{idx: idx, gen: n.gen}
+}
+
 // At schedules fn to run at the absolute virtual time t. Scheduling in
 // the past (t < Now) is a programming error and panics: in a
 // discrete-event simulation causality violations are bugs, not
 // recoverable conditions.
-func (k *Kernel) At(t Time, fn func()) *Event {
-	if t < k.now {
-		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
-	}
-	e := &Event{when: t, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+func (k *Kernel) At(t Time, fn func()) Event {
+	return k.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current virtual time.
-func (k *Kernel) After(d Duration, fn func()) *Event {
+func (k *Kernel) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
-	return k.At(k.now.Add(d), fn)
+	return k.schedule(k.now.Add(d), fn, nil, nil)
 }
 
-// Cancel marks an event so it will be skipped when its time comes.
-// Cancelling an already-dispatched or already-cancelled event is a no-op.
-func (k *Kernel) Cancel(e *Event) {
-	if e != nil {
-		e.cancelled = true
-		e.fn = nil
+// AtArg schedules fn(arg) at the absolute virtual time t. Unlike At, a
+// caller on a hot path can reuse one fn value for many events and vary
+// only the argument, avoiding a closure allocation per event. Passing a
+// pointer type as arg stays allocation-free; non-pointer values may be
+// boxed by the runtime.
+func (k *Kernel) AtArg(t Time, fn func(any), arg any) Event {
+	return k.schedule(t, nil, fn, arg)
+}
+
+// AfterArg schedules fn(arg) to run d after the current virtual time.
+func (k *Kernel) AfterArg(d Duration, fn func(any), arg any) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
+	return k.schedule(k.now.Add(d), nil, fn, arg)
+}
+
+// node resolves a handle to its arena slot, or nil when the handle is
+// stale (dispatched, cancelled, recycled) or zero.
+func (k *Kernel) node(e Event) *eventNode {
+	if e.gen == 0 || int(e.idx) >= len(k.arena) {
+		return nil
+	}
+	n := &k.arena[e.idx]
+	if n.gen != e.gen {
+		return nil
+	}
+	return n
+}
+
+// Cancel marks an event so it will be skipped when its time comes; the
+// queue node is reclaimed lazily when it surfaces at the heap root.
+// Cancelling an already-dispatched, already-cancelled or zero Event is
+// a no-op.
+func (k *Kernel) Cancel(e Event) {
+	n := k.node(e)
+	if n == nil || n.cancelled {
+		return
+	}
+	n.cancelled = true
+	n.fn, n.afn, n.arg = nil, nil, nil
+	k.live--
+}
+
+// Live reports whether e is still queued and not cancelled.
+func (k *Kernel) Live(e Event) bool {
+	n := k.node(e)
+	return n != nil && !n.cancelled
+}
+
+// When returns the scheduled time of a live or cancelled-but-queued
+// event, and false for a stale handle.
+func (k *Kernel) When(e Event) (Time, bool) {
+	n := k.node(e)
+	if n == nil {
+		return 0, false
+	}
+	return n.when, true
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -207,43 +359,66 @@ func (k *Kernel) Run() error {
 	k.stopped = false
 	defer func() { k.running = false }()
 
-	for len(k.queue) > 0 && !k.stopped {
-		e := heap.Pop(&k.queue).(*Event)
-		if e.cancelled {
+	for k.live > 0 && !k.stopped {
+		idx := k.heap[0].idx
+		n := &k.arena[idx]
+		if n.cancelled {
+			k.popMin()
+			k.freeNode(idx)
 			continue
 		}
-		if e.when > k.maxTime {
-			// Push back so state remains inspectable.
-			heap.Push(&k.queue, e)
+		if n.when > k.maxTime {
+			// Leave the event queued so state remains inspectable.
 			return ErrTimeLimit
 		}
-		k.now = e.when
-		k.dispatched++
-		if k.maxEvents != 0 && k.dispatched > k.maxEvents {
-			heap.Push(&k.queue, e)
-			k.dispatched--
+		if k.maxEvents != 0 && k.dispatched >= k.maxEvents {
 			return ErrEventLimit
 		}
-		fn := e.fn
-		e.fn = nil
-		fn()
+		k.popMin()
+		k.now = n.when
+		k.dispatched++
+		k.live--
+		fn, afn, arg := n.fn, n.afn, n.arg
+		k.freeNode(idx)
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
 	}
 	return nil
 }
 
 // Step dispatches the next non-cancelled event, if any, and reports
 // whether one was dispatched. Useful in tests for lock-step inspection.
+// Step honors the same event and time limits as Run: an event that Run
+// would refuse to dispatch makes Step return false without dispatching.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*Event)
-		if e.cancelled {
+	for k.live > 0 {
+		idx := k.heap[0].idx
+		n := &k.arena[idx]
+		if n.cancelled {
+			k.popMin()
+			k.freeNode(idx)
 			continue
 		}
-		k.now = e.when
+		if n.when > k.maxTime {
+			return false
+		}
+		if k.maxEvents != 0 && k.dispatched >= k.maxEvents {
+			return false
+		}
+		k.popMin()
+		k.now = n.when
 		k.dispatched++
-		fn := e.fn
-		e.fn = nil
-		fn()
+		k.live--
+		fn, afn, arg := n.fn, n.afn, n.arg
+		k.freeNode(idx)
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
 		return true
 	}
 	return false

@@ -119,21 +119,55 @@ func TestCancel(t *testing.T) {
 	k := NewKernel()
 	ran := false
 	e := k.At(10, func() { ran = true })
+	if !k.Live(e) {
+		t.Fatal("Live = false for a queued event")
+	}
 	k.Cancel(e)
+	if k.Live(e) {
+		t.Fatal("Live = true after Cancel")
+	}
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if ran {
 		t.Fatal("cancelled event ran")
 	}
-	if !e.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
+}
+
+func TestCancelZeroIsNoop(t *testing.T) {
+	k := NewKernel()
+	k.Cancel(Event{}) // must not panic
+	if k.Live(Event{}) {
+		t.Fatal("zero Event reported live")
 	}
 }
 
-func TestCancelNilIsNoop(t *testing.T) {
+func TestStaleHandleIsNoop(t *testing.T) {
 	k := NewKernel()
-	k.Cancel(nil) // must not panic
+	e := k.At(10, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// e now refers to a recycled slot. Both queries and Cancel must be
+	// harmless no-ops, even after the slot is reused.
+	if k.Live(e) {
+		t.Fatal("dispatched event reported live")
+	}
+	ran := false
+	e2 := k.At(20, func() { ran = true })
+	k.Cancel(e) // stale: must not hit e2's recycled slot
+	if !k.Live(e2) {
+		t.Fatal("stale Cancel killed the slot's new occupant")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("event cancelled through a stale handle")
+	}
+	if _, ok := k.When(e2); ok {
+		t.Fatal("When reported a time for a dispatched event")
+	}
 }
 
 func TestStop(t *testing.T) {
@@ -305,7 +339,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 	f := func(times []uint8, mask uint64) bool {
 		k := NewKernel()
 		ran := make(map[int]bool)
-		events := make([]*Event, len(times))
+		events := make([]Event, len(times))
 		for i, tm := range times {
 			i := i
 			events[i] = k.At(Time(tm), func() { ran[i] = true })

@@ -129,3 +129,106 @@ func (u *UniformLatency) Latency(_ *Job, _, _ int, bytes int) sim.Duration {
 	}
 	return d
 }
+
+// LatencyTableRankLimit bounds the dense rank-pair distance table the
+// latency cache builds: jobs with more ranks than this skip the table
+// (8 bytes per rank pair — 8 MiB at the default 1024 — would cost half
+// a gigabyte at the paper's 8192-rank runs) and memoize only the
+// bandwidth term. It mirrors core.MatrixRankLimit, which gates the
+// rank-pair steal matrix for the same reason.
+var LatencyTableRankLimit = 1024
+
+// byteTableMax bounds the memo for the bandwidth term: protocol
+// messages (requests, replies, tokens) and typical loot batches are
+// well under this; larger transfers fall back to direct computation.
+const byteTableMax = 4096
+
+// cachedLatency wraps a HierarchicalLatency with memoization for the
+// network's per-send lookups. The distance term is a pure function of
+// the rank pair, served from a lazily filled dense table when the job
+// is small enough; the bandwidth term is a pure function of the byte
+// count, served from a small table indexed by size. Both memos store
+// the exact value the wrapped model computes — the cache changes
+// per-send cost, never a single latency.
+type cachedLatency struct {
+	h   *HierarchicalLatency
+	job *Job
+	n   int
+	// dist[i*n+k] is the distance-dependent part of Latency(i, k); 0
+	// means "not computed yet" (a genuinely zero distance term is then
+	// recomputed each time, which stays correct).
+	dist []sim.Duration
+	// bytesTab[b] is the bandwidth term for a b-byte payload, same
+	// zero-means-unfilled convention.
+	bytesTab []sim.Duration
+}
+
+// SendModel returns the latency model the network should use for its
+// per-send lookups: a memoizing wrapper when the model is the
+// hierarchical Tofu model, the model itself otherwise. Only pure
+// models are cacheable — JitterLatency advances an RNG on every call,
+// so caching it would change the jitter stream — and UniformLatency is
+// already cheaper than a table lookup.
+func SendModel(m LatencyModel, j *Job) LatencyModel {
+	h, ok := m.(*HierarchicalLatency)
+	if !ok {
+		return m
+	}
+	c := &cachedLatency{h: h, job: j, n: j.Ranks(), bytesTab: make([]sim.Duration, byteTableMax)}
+	if c.n <= LatencyTableRankLimit {
+		c.dist = make([]sim.Duration, c.n*c.n)
+	}
+	return c
+}
+
+// distTerm computes the distance-dependent part of the wrapped model's
+// Latency — the same arithmetic with the bandwidth term left out.
+func (c *cachedLatency) distTerm(i, k int) sim.Duration {
+	h := c.h
+	d := h.Software
+	p, q := c.job.Coord(i), c.job.Coord(k)
+	switch {
+	case p == q:
+		d += h.SameNode
+	case SameBlade(p, q):
+		d += h.SameBlade
+	case SameCube(p, q):
+		d += h.SameCube
+	default:
+		d += h.SameCube + sim.Duration(c.job.Alloc.Machine.Hops(p, q))*h.PerHop
+	}
+	return d
+}
+
+// Latency implements LatencyModel.
+func (c *cachedLatency) Latency(j *Job, i, k int, bytes int) sim.Duration {
+	if j != c.job {
+		// The cache is keyed to one placed job; serve foreign jobs from
+		// the wrapped model rather than from another job's distances.
+		return c.h.Latency(j, i, k, bytes)
+	}
+	var d sim.Duration
+	if c.dist != nil {
+		idx := i*c.n + k
+		d = c.dist[idx]
+		if d == 0 {
+			d = c.distTerm(i, k)
+			c.dist[idx] = d
+		}
+	} else {
+		d = c.distTerm(i, k)
+	}
+	if c.h.BytesPerSecond > 0 && bytes > 0 {
+		if bytes < len(c.bytesTab) {
+			b := c.bytesTab[bytes]
+			if b == 0 {
+				b = sim.Duration(float64(bytes) / c.h.BytesPerSecond * 1e9)
+				c.bytesTab[bytes] = b
+			}
+			d += b
+		} else {
+			d += sim.Duration(float64(bytes) / c.h.BytesPerSecond * 1e9)
+		}
+	}
+	return d
+}

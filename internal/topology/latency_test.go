@@ -176,3 +176,83 @@ func TestJitterLatencyPanicsOnBadFrac(t *testing.T) {
 		}()
 	}
 }
+
+// TestSendModelMatchesUncached is the exactness contract of the latency
+// cache: for every rank pair and a spread of payload sizes (including
+// ones past the byte-table bound), the cached model must return the
+// bit-identical duration the plain model computes, on both the dense-
+// table and the beyond-limit paths.
+func TestSendModelMatchesUncached(t *testing.T) {
+	job, err := NewJob(KComputer(), 96, OnePerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := DefaultLatency()
+	sizes := []int{0, 1, 8, 16, 200, byteTableMax - 1, byteTableMax, 1 << 20}
+	check := func(cached LatencyModel) {
+		t.Helper()
+		for i := 0; i < job.Ranks(); i += 7 {
+			for k := 0; k < job.Ranks(); k++ {
+				for _, sz := range sizes {
+					want := plain.Latency(job, i, k, sz)
+					// Twice: the first call fills the memo, the second reads it.
+					if got := cached.Latency(job, i, k, sz); got != want {
+						t.Fatalf("cold cache: Latency(%d, %d, %d) = %v, want %v", i, k, sz, got, want)
+					}
+					if got := cached.Latency(job, i, k, sz); got != want {
+						t.Fatalf("warm cache: Latency(%d, %d, %d) = %v, want %v", i, k, sz, got, want)
+					}
+				}
+			}
+		}
+	}
+	check(SendModel(plain, job))
+
+	// Beyond the table gate the cache must degrade, not misbehave.
+	defer func(old int) { LatencyTableRankLimit = old }(LatencyTableRankLimit)
+	LatencyTableRankLimit = 8
+	gated := SendModel(plain, job)
+	if gated.(*cachedLatency).dist != nil {
+		t.Fatal("dense table built past LatencyTableRankLimit")
+	}
+	check(gated)
+}
+
+// TestSendModelPassThrough: stateful or already-cheap models must come
+// back unwrapped — caching JitterLatency would freeze its RNG stream.
+func TestSendModelPassThrough(t *testing.T) {
+	job, err := NewJob(KComputer(), 4, OnePerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit := NewJitterLatency(DefaultLatency(), 0.2, 1)
+	if SendModel(jit, job) != LatencyModel(jit) {
+		t.Fatal("JitterLatency was wrapped")
+	}
+	uni := &UniformLatency{Fixed: 5}
+	if SendModel(uni, job) != LatencyModel(uni) {
+		t.Fatal("UniformLatency was wrapped")
+	}
+}
+
+// TestSendModelForeignJob: a lookup against a job other than the one
+// the cache was built for must not read that job's table.
+func TestSendModelForeignJob(t *testing.T) {
+	jobA, err := NewJob(KComputer(), 64, OnePerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobB, err := NewJob(KComputer(), 64, EightRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := SendModel(DefaultLatency(), jobA)
+	for i := 0; i < 64; i += 5 {
+		for k := 0; k < 64; k++ {
+			want := DefaultLatency().Latency(jobB, i, k, 16)
+			if got := cached.Latency(jobB, i, k, 16); got != want {
+				t.Fatalf("foreign job: Latency(%d, %d) = %v, want %v", i, k, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package uts
+
+import "testing"
+
+// BenchmarkUTSChildGen measures generating all children of one
+// high-fanout binomial node — the inner loop of every quantum the
+// engine runs (one SHA-1 chain per child).
+func BenchmarkUTSChildGen(b *testing.B) {
+	p := Params{Type: Binomial, RootSeed: 42, B0: 64, NonLeafBF: 8, NonLeafProb: 0.1}
+	root := p.Root()
+	buf := make([]Node, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = p.AppendChildren(buf[:0], &root)
+	}
+	if len(buf) != 64 {
+		b.Fatalf("root has %d children, want 64", len(buf))
+	}
+}

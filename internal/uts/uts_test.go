@@ -485,3 +485,64 @@ func TestGeometricShapeValues(t *testing.T) {
 		t.Fatal("expdec not decreasing")
 	}
 }
+
+// TestChildGenMatchesChild is the exactness contract of batched child
+// generation: for every tree family, hash and granularity, ChildGen
+// must produce bit-identical children to per-call Params.Child,
+// including when the same generator is re-staged across parents the
+// way the engine reuses its per-rank generator.
+func TestChildGenMatchesChild(t *testing.T) {
+	params := []Params{
+		{Type: Binomial, RootSeed: 19, B0: 12, NonLeafBF: 4, NonLeafProb: 0.23},
+		{Type: Binomial, RootSeed: 19, B0: 12, NonLeafBF: 4, NonLeafProb: 0.23, Granularity: 3},
+		{Type: Geometric, RootSeed: 42, B0: 3, GenMax: 6, Shape: ShapeLinear},
+		{Type: Hybrid, RootSeed: 7, B0: 3, GenMax: 8, CutoffDepth: 3, NonLeafBF: 4, NonLeafProb: 0.2},
+		{Type: Binomial, RootSeed: 19, B0: 12, NonLeafBF: 4, NonLeafProb: 0.23, Hash: HashFast},
+	}
+	for _, p := range params {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		var g ChildGen
+		// Walk a few levels, re-staging the one generator per parent.
+		frontier := []Node{p.Root()}
+		for depth := 0; depth < 3 && len(frontier) > 0; depth++ {
+			var next []Node
+			for _, parent := range frontier {
+				parent := parent
+				n := g.Reset(p, &parent)
+				if want := p.NumChildren(&parent); n != want || g.N() != want {
+					t.Fatalf("%v: Reset returned %d children, NumChildren says %d", p.Type, n, want)
+				}
+				for i := 0; i < n; i++ {
+					got, want := g.Child(i), p.Child(&parent, i)
+					if got != want {
+						t.Fatalf("%v/%v gran=%d: child %d of %v differs:\n got %v\nwant %v",
+							p.Type, p.Hash, p.Granularity, i, parent, got, want)
+					}
+					if len(next) < 64 {
+						next = append(next, got)
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+}
+
+// TestChildGenOutOfOrder: the engine may generate children of a staged
+// parent in any resumption pattern; index order must not matter.
+func TestChildGenOutOfOrder(t *testing.T) {
+	p := MustPreset("H-TINY").Params
+	root := p.Root()
+	var g ChildGen
+	n := g.Reset(p, &root)
+	if n < 2 {
+		t.Fatalf("root has %d children, need at least 2", n)
+	}
+	for _, i := range []int{n - 1, 0, n / 2, 0, n - 1} {
+		if got, want := g.Child(i), p.Child(&root, i); got != want {
+			t.Fatalf("out-of-order child %d differs", i)
+		}
+	}
+}
