@@ -6,7 +6,7 @@
 GO ?= go
 ARTIFACTS ?= artifacts
 
-.PHONY: build test vet distwsvet race lint obs-smoke bench-json bench-smoke check clean
+.PHONY: build test vet distwsvet race lint obs-smoke causal-smoke bench-json bench-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,19 @@ obs-smoke:
 	$(GO) run ./cmd/tracetool -in $(ARTIFACTS)/smoke.jsonl -format json > $(ARTIFACTS)/smoke.report.json
 	$(GO) run ./cmd/obscheck $(ARTIFACTS)/smoke.jsonl $(ARTIFACTS)/smoke.chrome.json $(ARTIFACTS)/smoke.report.json
 
+# causal-smoke runs the causal analyses (idle-time blame, critical
+# path, work lineage) over the obs-smoke trace and archives the blame
+# report next to the Perfetto trace. The non-empty check catches a
+# silently broken pipeline.
+causal-smoke: obs-smoke
+	$(GO) run ./cmd/tracetool -in $(ARTIFACTS)/smoke.jsonl \
+		-blame -critical -lineage > $(ARTIFACTS)/smoke.blame.txt
+	@grep -q "idle-time blame" $(ARTIFACTS)/smoke.blame.txt || \
+		{ echo "causal-smoke: blame report missing from smoke.blame.txt"; exit 1; }
+	@grep -q "critical path" $(ARTIFACTS)/smoke.blame.txt || \
+		{ echo "causal-smoke: critical path missing from smoke.blame.txt"; exit 1; }
+	@echo "causal-smoke: wrote $(ARTIFACTS)/smoke.blame.txt"
+
 # Hot-path benchmarks of the simulation substrate (event kernel,
 # messaging, latency lookup, UTS hashing), exported as a JSON artifact
 # for archiving and cross-commit comparison. BENCHTIME=1x gives the
@@ -70,7 +83,7 @@ bench-smoke:
 	$(GO) test -run 'AllocFree' -count=1 $(BENCH_PKGS)
 	$(MAKE) bench-json BENCHTIME=1x
 
-check: build lint vet distwsvet test race obs-smoke
+check: build lint vet distwsvet test race causal-smoke
 	@echo "check: all gates passed"
 
 clean:

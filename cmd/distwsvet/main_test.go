@@ -97,3 +97,39 @@ func TestHotPathPackagesCleanWithoutAllowlists(t *testing.T) {
 		t.Errorf("finding: %v", d)
 	}
 }
+
+// TestCausalPackageCleanWithoutAllowlists machine-checks the causal
+// analysis layer (internal/obs/causal) with every exception stripped.
+// The package reconstructs cause-and-effect purely from a saved trace,
+// so nothing in it may touch randomness or the host clock — if it did,
+// blame reports and critical paths would stop being reproducible
+// functions of the run. Assert it holds the invariants on its own
+// merits: not allowlisted, and clean under the bare analyzers.
+func TestCausalPackageCleanWithoutAllowlists(t *testing.T) {
+	const pkg = "distws/internal/obs/causal"
+	for _, e := range append(append([]string{}, randExempt...), wallClockOK...) {
+		if pkg == e {
+			t.Fatalf("%s is allowlisted (%v); the causal analyses must pass unexcepted", pkg, e)
+		}
+	}
+	pkgs, err := analysis.Load("../..", pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	bare := []*analysis.Analyzer{
+		detrand.New(nil),
+		walltime.New(virtualTime, nil),
+		lockcheck.New(),
+		atomicmix.New(),
+	}
+	diags, err := analysis.Run(pkgs, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding: %v", d)
+	}
+}

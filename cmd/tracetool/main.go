@@ -3,12 +3,15 @@
 // paper's starting/ending latencies, work-discovery session statistics,
 // and a lifestory chart. Traces that carry the protocol event log
 // (uts -trace) additionally get steal-latency percentiles, a rank×rank
-// traffic heatmap, and a termination-tail breakdown.
+// traffic heatmap, a termination-tail breakdown, and — via the causal
+// analyses — an idle-time blame table (-blame), the critical path
+// (-critical), and the work-lineage summary (-lineage).
 //
 // Usage:
 //
 //	uts -tree H-SMALL -ranks 128 -trace t.jsonl
 //	tracetool -in t.jsonl
+//	tracetool -in t.jsonl -blame -critical -lineage
 //	tracetool -in a.jsonl -in b.jsonl -format json
 //	tracetool -in t.jsonl -lifestory -rows 32
 //	tracetool -in t.jsonl -chrome t.json     # convert for ui.perfetto.dev
@@ -18,10 +21,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"distws/internal/metrics"
 	"distws/internal/obs"
+	"distws/internal/obs/causal"
 	"distws/internal/sim"
 	"distws/internal/trace"
 )
@@ -38,7 +43,9 @@ func (l *inList) Set(v string) error { *l = append(*l, v); return nil }
 const jsonTrafficLimit = 128
 
 // report is the machine-readable per-file analysis (-format json). All
-// _ns fields are virtual nanoseconds.
+// _ns fields are virtual nanoseconds. Every analysis the text mode can
+// print appears here too, so scripted consumers never fall back to
+// scraping the text.
 type report struct {
 	File          string            `json:"file"`
 	Ranks         int               `json:"ranks"`
@@ -46,11 +53,31 @@ type report struct {
 	Sessions      int               `json:"sessions"`
 	MaxOccupancy  float64           `json:"max_occupancy"`
 	MeanOccupancy float64           `json:"mean_occupancy"`
+	SessionStats  *sessionReport    `json:"session_stats,omitempty"`
+	LatencyCurve  []latencyPoint    `json:"latency_curve,omitempty"`
 	Events        map[string]uint64 `json:"events,omitempty"`
 	EventsDropped uint64            `json:"events_dropped,omitempty"`
 	Steals        *stealReport      `json:"steals,omitempty"`
 	Tail          *tailReport       `json:"termination_tail,omitempty"`
 	Traffic       [][]uint64        `json:"traffic,omitempty"`
+	Blame         *blameReport      `json:"blame,omitempty"`
+	Critical      *criticalReport   `json:"critical_path,omitempty"`
+	Lineage       *lineageReport    `json:"lineage,omitempty"`
+}
+
+type sessionReport struct {
+	Count  int     `json:"count"`
+	MeanS  float64 `json:"mean_s"`
+	P50S   float64 `json:"p50_s"`
+	P99S   float64 `json:"p99_s"`
+	Failed int     `json:"failed_attempts"`
+}
+
+type latencyPoint struct {
+	Occupancy float64 `json:"occupancy"`
+	Reached   bool    `json:"reached"`
+	SL        float64 `json:"sl"`
+	EL        float64 `json:"el"`
 }
 
 type stealReport struct {
@@ -76,16 +103,56 @@ type tailReport struct {
 	TokenHopsTotal  int     `json:"token_hops_total"`
 }
 
+type rankBlame struct {
+	BusyNS     int64 `json:"busy_ns"`
+	StartupNS  int64 `json:"startup_ns"`
+	SearchNS   int64 `json:"search_ns"`
+	InFlightNS int64 `json:"in_flight_ns"`
+	TermTailNS int64 `json:"term_tail_ns"`
+}
+
+type blameReport struct {
+	PerRank []rankBlame `json:"per_rank"`
+	Total   rankBlame   `json:"total"`
+}
+
+type criticalReport struct {
+	Segments   int   `json:"segments"`
+	ComputeNS  int64 `json:"compute_ns"`
+	StealRTTNS int64 `json:"steal_rtt_ns"`
+	TransferNS int64 `json:"transfer_ns"`
+	TokenNS    int64 `json:"token_ns"`
+	WaitNS     int64 `json:"wait_ns"`
+}
+
+type lineageReport struct {
+	Transfers    int      `json:"transfers"`
+	TokenHops    int      `json:"token_hops"`
+	Quanta       int      `json:"quanta"`
+	MaxDepth     int      `json:"max_depth"`
+	Depths       []uint64 `json:"depths,omitempty"`
+	DeepestRoute []int    `json:"deepest_route,omitempty"`
+}
+
+// renderOpts selects the sections of the text report.
+type renderOpts struct {
+	steps, heat, width, rows       int
+	life, blame, critical, lineage bool
+}
+
 func main() {
 	var (
-		ins        inList
-		formatFlag = flag.String("format", "text", "output format: text|json")
-		chromeFlag = flag.String("chrome", "", "convert the (single) input to Chrome trace-event JSON at this path")
-		lifeFlag   = flag.Bool("lifestory", false, "print per-rank activity bars")
-		rowsFlag   = flag.Int("rows", 24, "max lifestory rows")
-		widthFlag  = flag.Int("width", 72, "lifestory / curve width")
-		stepsFlag  = flag.Int("steps", 10, "number of occupancy points for the SL/EL table")
-		heatFlag   = flag.Int("heatmap", 16, "traffic heatmap size in tiles (0 disables)")
+		ins          inList
+		formatFlag   = flag.String("format", "text", "output format: text|json")
+		chromeFlag   = flag.String("chrome", "", "convert the (single) input to Chrome trace-event JSON at this path")
+		lifeFlag     = flag.Bool("lifestory", false, "print per-rank activity bars")
+		blameFlag    = flag.Bool("blame", false, "print the idle-time blame attribution table")
+		criticalFlag = flag.Bool("critical", false, "print the critical-path decomposition")
+		lineageFlag  = flag.Bool("lineage", false, "print the work-lineage (migration depth) summary")
+		rowsFlag     = flag.Int("rows", 24, "max lifestory rows")
+		widthFlag    = flag.Int("width", 72, "lifestory / curve width")
+		stepsFlag    = flag.Int("steps", 10, "number of occupancy points for the SL/EL table")
+		heatFlag     = flag.Int("heatmap", 16, "traffic heatmap size in tiles (0 disables)")
 	)
 	flag.Var(&ins, "in", "trace file (JSONL) to analyze; repeatable")
 	flag.Parse()
@@ -102,6 +169,10 @@ func main() {
 		fatalf("-chrome converts exactly one trace; got %d inputs", len(ins))
 	}
 
+	opts := renderOpts{
+		steps: *stepsFlag, heat: *heatFlag, width: *widthFlag, rows: *rowsFlag,
+		life: *lifeFlag, blame: *blameFlag, critical: *criticalFlag, lineage: *lineageFlag,
+	}
 	var reports []report
 	for _, path := range ins {
 		tr := load(path)
@@ -115,7 +186,9 @@ func main() {
 			if len(ins) > 1 {
 				fmt.Printf("==> %s <==\n", path)
 			}
-			printText(tr, *stepsFlag, *heatFlag, *lifeFlag, *widthFlag, *rowsFlag)
+			if err := render(os.Stdout, tr, opts); err != nil {
+				fatalf("%v", err)
+			}
 			if len(ins) > 1 {
 				fmt.Println()
 			}
@@ -151,13 +224,29 @@ func writeChrome(path string, tr *trace.Trace) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if err := obs.WriteChromeTrace(f, tr); err != nil {
+	if err := obs.WriteChromeTraceOpts(f, tr, chromeOptions(tr)); err != nil {
 		fatalf("writing %s: %v", path, err)
 	}
 	if err := f.Close(); err != nil {
 		fatalf("closing %s: %v", path, err)
 	}
 	fmt.Fprintf(os.Stderr, "tracetool: chrome trace written to %s (load at ui.perfetto.dev)\n", path)
+}
+
+// chromeOptions computes the optional exporter tracks: traces with an
+// event log get their critical path as a highlight track.
+func chromeOptions(tr *trace.Trace) obs.ChromeOptions {
+	var o obs.ChromeOptions
+	if tr.Events == nil {
+		return o
+	}
+	p := causal.CriticalPath(causal.Build(tr))
+	for _, s := range p.Segments {
+		o.Highlight = append(o.Highlight, obs.HighlightSpan{
+			Name: s.Kind.String(), Rank: s.Rank, Start: s.Start, End: s.End,
+		})
+	}
+	return o
 }
 
 // analyze builds the machine-readable report for one trace.
@@ -170,6 +259,24 @@ func analyze(path string, tr *trace.Trace) report {
 		Sessions:      tr.TotalSessions(),
 		MaxOccupancy:  curve.MaxOccupancy(),
 		MeanOccupancy: curve.MeanOccupancy(),
+	}
+	if ss := metrics.Sessions(tr); ss.Count > 0 {
+		r.SessionStats = &sessionReport{
+			Count: ss.Count, MeanS: ss.Mean, P50S: ss.P50, P99S: ss.P99, Failed: ss.Failed,
+		}
+	}
+	for _, p := range curve.LatencyCurve(metrics.OccupancySamples(10, curve.MaxOccupancy())) {
+		r.LatencyCurve = append(r.LatencyCurve, latencyPoint{
+			Occupancy: p.Occupancy, Reached: p.Reached, SL: p.SL, EL: p.EL,
+		})
+	}
+	if tr.Ranks() > 0 {
+		b := causal.AttributeIdle(tr)
+		br := &blameReport{Total: jsonRankBlame(b.Total)}
+		for _, rb := range b.PerRank {
+			br.PerRank = append(br.PerRank, jsonRankBlame(rb))
+		}
+		r.Blame = br
 	}
 	if tr.Events == nil {
 		return r
@@ -200,67 +307,127 @@ func analyze(path string, tr *trace.Trace) report {
 	if tr.Ranks() <= jsonTrafficLimit {
 		r.Traffic = obs.Traffic(tr)
 	}
+
+	g := causal.Build(tr)
+	p := causal.CriticalPath(g)
+	r.Critical = &criticalReport{
+		Segments:   len(p.Segments),
+		ComputeNS:  int64(p.ByKind[causal.SegCompute]),
+		StealRTTNS: int64(p.ByKind[causal.SegStealRTT]),
+		TransferNS: int64(p.ByKind[causal.SegTransfer]),
+		TokenNS:    int64(p.ByKind[causal.SegToken]),
+		WaitNS:     int64(p.ByKind[causal.SegWait]),
+	}
+	lr := &lineageReport{
+		Transfers: len(g.Transfers),
+		TokenHops: len(g.TokenHops),
+		Quanta:    g.QuantaCount(),
+		MaxDepth:  g.MaxDepth(),
+		Depths:    g.MigrationDepths(),
+	}
+	if len(g.Transfers) > 0 {
+		deepest := 0
+		for i, t := range g.Transfers {
+			if t.Depth > g.Transfers[deepest].Depth {
+				deepest = i
+			}
+		}
+		lr.DeepestRoute = g.ChainRanks(deepest)
+	}
+	r.Lineage = lr
 	return r
 }
 
-// printText is the human-readable analysis for one trace.
-func printText(tr *trace.Trace, steps, heat int, life bool, width, rows int) {
+func jsonRankBlame(b causal.RankBlame) rankBlame {
+	return rankBlame{
+		BusyNS: int64(b.Busy), StartupNS: int64(b.Startup), SearchNS: int64(b.Search),
+		InFlightNS: int64(b.InFlight), TermTailNS: int64(b.TermTail),
+	}
+}
+
+// render writes the human-readable analysis for one trace. Its output
+// is a pure function of the trace and options — a golden test pins it
+// byte for byte.
+func render(w io.Writer, tr *trace.Trace, o renderOpts) error {
 	curve := metrics.Occupancy(tr)
-	fmt.Printf("trace: %d ranks, makespan %v, %d sessions\n",
+	fmt.Fprintf(w, "trace: %d ranks, makespan %v, %d sessions\n",
 		tr.Ranks(), sim.Duration(tr.End), tr.TotalSessions())
-	fmt.Printf("occupancy: max %.1f%% (Wmax %d), mean %.1f%%\n",
+	fmt.Fprintf(w, "occupancy: max %.1f%% (Wmax %d), mean %.1f%%\n",
 		curve.MaxOccupancy()*100, curve.Wmax(), curve.MeanOccupancy()*100)
 
 	st := metrics.Sessions(tr)
 	if st.Count > 0 {
-		fmt.Printf("work-discovery sessions: %d, mean %.3gs, p50 %.3gs, p99 %.3gs, %d failed attempts\n",
+		fmt.Fprintf(w, "work-discovery sessions: %d, mean %.3gs, p50 %.3gs, p99 %.3gs, %d failed attempts\n",
 			st.Count, st.Mean, st.P50, st.P99, st.Failed)
 	}
 
-	fmt.Printf("\noccupancy   SL (%% runtime)   EL (%% runtime)\n")
-	for _, p := range curve.LatencyCurve(metrics.OccupancySamples(steps, curve.MaxOccupancy())) {
+	fmt.Fprintf(w, "\noccupancy   SL (%% runtime)   EL (%% runtime)\n")
+	for _, p := range curve.LatencyCurve(metrics.OccupancySamples(o.steps, curve.MaxOccupancy())) {
 		if !p.Reached {
-			fmt.Printf("   %3.0f%%        (never reached)\n", p.Occupancy*100)
+			fmt.Fprintf(w, "   %3.0f%%        (never reached)\n", p.Occupancy*100)
 			continue
 		}
-		fmt.Printf("   %3.0f%%        %6.2f           %6.2f\n", p.Occupancy*100, p.SL*100, p.EL*100)
+		fmt.Fprintf(w, "   %3.0f%%        %6.2f           %6.2f\n", p.Occupancy*100, p.SL*100, p.EL*100)
 	}
 
 	if tr.Events != nil {
-		fmt.Printf("\nprotocol events: %d recorded, %d dropped from bounded rings\n",
+		fmt.Fprintf(w, "\nprotocol events: %d recorded, %d dropped from bounded rings\n",
 			tr.TotalEvents(), tr.TotalEventsDropped())
 		counts := tr.EventCounts()
 		for k, n := range counts {
 			if n > 0 {
-				fmt.Printf("  %-14s %d\n", trace.EventKind(k).String(), n)
+				fmt.Fprintf(w, "  %-14s %d\n", trace.EventKind(k).String(), n)
 			}
 		}
 
 		pairs := obs.PairSteals(tr)
 		if len(pairs) > 0 {
 			sl := obs.StealLatency(pairs)
-			fmt.Printf("\nsteal round trips: %d (%d ok, %d refused, %d aborted), %d nodes moved\n",
+			fmt.Fprintf(w, "\nsteal round trips: %d (%d ok, %d refused, %d aborted), %d nodes moved\n",
 				sl.Count, sl.Success, sl.Refused, sl.Aborted, sl.NodesMoved)
-			fmt.Printf("steal latency: mean %v, p50 %v, p95 %v, p99 %v, max %v (successful p50 %v)\n",
+			fmt.Fprintf(w, "steal latency: mean %v, p50 %v, p95 %v, p99 %v, max %v (successful p50 %v)\n",
 				sl.Mean, sl.P50, sl.P95, sl.P99, sl.Max, sl.SuccessP50)
 		}
 
-		if heat > 0 {
-			fmt.Println()
-			fmt.Print(obs.RenderHeatmap(obs.Traffic(tr), heat))
+		if o.heat > 0 {
+			fmt.Fprintln(w)
+			fmt.Fprint(w, obs.RenderHeatmap(obs.Traffic(tr), o.heat))
 		}
 
 		tail := obs.TerminationTail(tr, pairs)
-		fmt.Printf("\ntermination tail: last work transfer at %v, tail %v (%.1f%% of makespan)\n",
+		fmt.Fprintf(w, "\ntermination tail: last work transfer at %v, tail %v (%.1f%% of makespan)\n",
 			sim.Duration(tail.LastTransfer), tail.Duration, tail.Fraction*100)
-		fmt.Printf("  failed steals in tail: %d; token hops: %d in tail / %d total\n",
+		fmt.Fprintf(w, "  failed steals in tail: %d; token hops: %d in tail / %d total\n",
 			tail.FailedInTail, tail.TokenHopsInTail, tail.TokenHopsTotal)
 	}
 
-	if life {
-		fmt.Println()
-		fmt.Print(metrics.Lifestory(tr, width, rows))
+	if o.blame || o.critical || o.lineage {
+		g := causal.Build(tr)
+		if o.blame {
+			fmt.Fprintln(w)
+			if err := causal.WriteBlameText(w, causal.AttributeIdle(tr)); err != nil {
+				return err
+			}
+		}
+		if o.critical {
+			fmt.Fprintln(w)
+			if err := causal.WriteCriticalText(w, causal.CriticalPath(g)); err != nil {
+				return err
+			}
+		}
+		if o.lineage {
+			fmt.Fprintln(w)
+			if err := causal.WriteLineageText(w, g); err != nil {
+				return err
+			}
+		}
 	}
+
+	if o.life {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, metrics.Lifestory(tr, o.width, o.rows))
+	}
+	return nil
 }
 
 func fatalf(format string, args ...any) {

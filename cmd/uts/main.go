@@ -25,6 +25,7 @@ import (
 	"distws/internal/core"
 	"distws/internal/metrics"
 	"distws/internal/obs"
+	"distws/internal/obs/causal"
 	"distws/internal/sim"
 	"distws/internal/term"
 	"distws/internal/topology"
@@ -155,6 +156,10 @@ func main() {
 		fmt.Printf("  WARNING: premature termination detected (incomplete traversal)\n")
 	}
 
+	if res.MaxMigrationDepth > 0 {
+		fmt.Printf("  work lineage:    max migration depth %d\n", res.MaxMigrationDepth)
+	}
+
 	if res.Trace != nil {
 		c := metrics.Occupancy(res.Trace)
 		fmt.Printf("  max occupancy:   %.1f%% (Wmax %d)\n", c.MaxOccupancy()*100, c.Wmax())
@@ -163,12 +168,30 @@ func main() {
 			fmt.Printf("  events recorded: %d (%d dropped from bounded rings)\n",
 				res.Trace.TotalEvents(), res.Trace.TotalEventsDropped())
 		}
+		// Causal analyses ride on the event log: the critical path
+		// highlights the Chrome export, and the blame/critical/lineage
+		// aggregates land in the metrics registry (outside core.Run, so
+		// the engine's own exposition is untouched).
+		var chromeOpts obs.ChromeOptions
+		if res.Trace.Events != nil {
+			g := causal.Build(res.Trace)
+			p := causal.CriticalPath(g)
+			causal.Publish(reg, g, p, causal.AttributeIdle(res.Trace))
+			for _, s := range p.Segments {
+				chromeOpts.Highlight = append(chromeOpts.Highlight, obs.HighlightSpan{
+					Name: s.Kind.String(), Rank: s.Rank, Start: s.Start, End: s.End,
+				})
+			}
+			fmt.Printf("  critical path:   %.1f%% compute, %.1f%% steal-rtt, %.1f%% transfer, %.1f%% token, %.1f%% wait\n",
+				segShare(p, causal.SegCompute), segShare(p, causal.SegStealRTT),
+				segShare(p, causal.SegTransfer), segShare(p, causal.SegToken), segShare(p, causal.SegWait))
+		}
 		if *traceFlag != "" {
 			writeFile(*traceFlag, res.Trace.WriteJSONL)
 			fmt.Printf("  trace written:   %s (analyze with tracetool -in %s)\n", *traceFlag, *traceFlag)
 		}
 		if *chromeFlag != "" {
-			writeFile(*chromeFlag, func(w io.Writer) error { return obs.WriteChromeTrace(w, res.Trace) })
+			writeFile(*chromeFlag, func(w io.Writer) error { return obs.WriteChromeTraceOpts(w, res.Trace, chromeOpts) })
 			fmt.Printf("  chrome trace:    %s (load at ui.perfetto.dev)\n", *chromeFlag)
 		}
 	}
@@ -177,6 +200,14 @@ func main() {
 		fmt.Printf("\nrun complete; still serving %s — interrupt to exit\n", *obsFlag)
 		select {}
 	}
+}
+
+// segShare returns segment kind k's percentage of the critical path.
+func segShare(p causal.Path, k causal.SegmentKind) float64 {
+	if p.Total <= 0 {
+		return 0
+	}
+	return 100 * float64(p.ByKind[k]) / float64(p.Total)
 }
 
 func writeFile(path string, write func(io.Writer) error) {

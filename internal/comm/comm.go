@@ -88,6 +88,10 @@ type Message struct {
 	ID uint64
 	// Nodes is the stolen loot of a TagWork reply.
 	Nodes []uts.Node
+	// Lineage is the migration depth of a TagWork reply's loot: how many
+	// successful steals the work has survived since rank 0's root
+	// (depth 0). Thieves record it so steal chains i→j→k are recoverable.
+	Lineage int
 	// Token is the termination-detection token of a TagToken message.
 	Token term.Token
 	// Payload carries extension data for messages sent with the generic
@@ -302,9 +306,11 @@ func (n *Network) SendID(from, to int, tag Tag, id uint64, size int) {
 }
 
 // SendNodes queues a TagWork reply carrying stolen nodes for request id.
-func (n *Network) SendNodes(from, to int, id uint64, nodes []uts.Node, size int) {
+// lineage is the loot's migration depth (the victim's depth plus one).
+func (n *Network) SendNodes(from, to int, id uint64, nodes []uts.Node, lineage, size int) {
 	m := n.alloc()
 	m.From, m.To, m.Tag, m.ID, m.Nodes, m.Size = from, to, TagWork, id, nodes, size
+	m.Lineage = lineage
 	n.send(m)
 }
 

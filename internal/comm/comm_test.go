@@ -270,7 +270,7 @@ func TestMailboxReleasesPeakCapacity(t *testing.T) {
 
 func TestMessagePoolRecyclesFreedMessages(t *testing.T) {
 	k, n := testNetwork(t, 2)
-	n.SendNodes(0, 1, 7, make([]uts.Node, 3), 60)
+	n.SendNodes(0, 1, 7, make([]uts.Node, 3), 2, 60)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestMessagePoolRecyclesFreedMessages(t *testing.T) {
 		t.Fatalf("polled %d messages, want 1", len(msgs))
 	}
 	first := msgs[0]
-	if first.Tag != TagWork || first.ID != 7 || len(first.Nodes) != 3 {
+	if first.Tag != TagWork || first.ID != 7 || len(first.Nodes) != 3 || first.Lineage != 2 {
 		t.Fatalf("typed fields corrupted: %+v", first)
 	}
 	n.Free(first)

@@ -68,14 +68,19 @@ type rank struct {
 	// Steal statistics.
 	requests, fails, successes uint64
 	aborted                    uint64
-	consecFails                int
-	backoff                    sim.Duration
-	pendingVictim              int    // victim of the outstanding request
-	reqID                      uint64 // id of the outstanding request
-	waitStart                  sim.Time
-	idleSince                  sim.Time     // start of the current work-discovery session
-	searchWait                 sim.Duration // total time waiting for replies
-	sessions                   uint64
+	// lineage is the migration depth of the work the rank currently
+	// holds: 0 for rank 0's root work, and d+1 after accepting a
+	// transfer whose loot had depth d. Victims stamp outgoing loot with
+	// lineage+1, so steal chains i→j→k are recoverable from transfers.
+	lineage       int
+	consecFails   int
+	backoff       sim.Duration
+	pendingVictim int    // victim of the outstanding request
+	reqID         uint64 // id of the outstanding request
+	waitStart     sim.Time
+	idleSince     sim.Time     // start of the current work-discovery session
+	searchWait    sim.Duration // total time waiting for replies
+	sessions      uint64
 
 	// deferred holds messages delivered mid-quantum that the one-sided
 	// protocol does not serve at delivery time (tokens, replies); they
@@ -112,9 +117,12 @@ type engine struct {
 
 	workSent, workReceived uint64
 	nodesSent              uint64
-	detectedAt             sim.Time
-	detected               bool
-	doneCount              int
+	// migDepths[d] counts accepted transfers whose loot had migration
+	// depth d; grown on demand (depths start at 1, so index 0 stays 0).
+	migDepths  []uint64
+	detectedAt sim.Time
+	detected   bool
+	doneCount  int
 }
 
 // Result summarizes one simulated execution.
@@ -157,6 +165,14 @@ type Result struct {
 
 	// ChunksTransferred counts chunks moved by successful steals.
 	ChunksTransferred uint64
+
+	// MigrationDepths histograms the work-lineage depth of accepted
+	// transfers: MigrationDepths[d] transfers carried loot that had
+	// survived d steals since rank 0's root work (depth 1 = stolen
+	// straight from the root owner's line). MaxMigrationDepth is the
+	// longest steal chain observed.
+	MigrationDepths   []uint64
+	MaxMigrationDepth int
 
 	// Load imbalance across ranks, as the UTS reports print: the
 	// fraction of all nodes expanded by the busiest and laziest rank,
@@ -473,6 +489,11 @@ func (e *engine) handle(r int, m *comm.Message) {
 		rk.successes++
 		rk.consecFails = 0
 		rk.backoff = 0
+		// Work lineage: the loot's migration depth becomes the rank's
+		// (also when banking a late reply below — the banked nodes mix
+		// into the stack, and the freshest transfer wins).
+		rk.lineage = m.Lineage
+		e.noteMigration(m.Lineage)
 		e.ev.Record(r, now, trace.EvWorkRecv, m.From, int64(len(m.Nodes)))
 		if e.met != nil {
 			e.met.stealSuccess.Inc()
@@ -590,7 +611,19 @@ func (e *engine) handleStealRequest(v, thief int, id uint64) {
 	if e.met != nil {
 		e.met.chunkNodes.Observe(int64(len(loot)))
 	}
-	e.net.SendNodes(v, thief, id, loot, len(loot)*uts.NodeBytes)
+	e.net.SendNodes(v, thief, id, loot, rk.lineage+1, len(loot)*uts.NodeBytes)
+}
+
+// noteMigration tallies one accepted transfer at the given migration
+// depth, growing the histogram on demand.
+func (e *engine) noteMigration(depth int) {
+	if depth < 0 {
+		depth = 0
+	}
+	for len(e.migDepths) <= depth {
+		e.migDepths = append(e.migDepths, 0)
+	}
+	e.migDepths[depth]++
 }
 
 // retryOrBackoff continues an idle rank's search, inserting a pause
@@ -712,6 +745,11 @@ func (e *engine) result() *Result {
 	if res.Nodes > 0 {
 		mean := float64(res.Nodes) / float64(e.cfg.Ranks)
 		res.Imbalance = float64(res.MaxRankNodes) / mean
+	}
+	res.MigrationDepths = e.migDepths
+	res.MaxMigrationDepth = len(e.migDepths) - 1
+	if res.MaxMigrationDepth < 0 {
+		res.MaxMigrationDepth = 0
 	}
 	res.TerminationRounds = e.det.Rounds()
 	res.Premature = remaining > 0 || e.workSent != e.workReceived

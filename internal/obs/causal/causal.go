@@ -1,0 +1,417 @@
+// Package causal reconstructs the causal structure of a traced
+// work-stealing run from its protocol event log: which steal fed which
+// rank (work lineage), what chain of compute quanta, steal round
+// trips, work transfers and termination-token hops the makespan is
+// made of (the critical path), and which protocol mechanism each
+// rank's idle time was waiting on (blame attribution).
+//
+// The paper's occupancy curves and SL(x)/EL(x) latencies measure the
+// *symptoms* of bad victim selection; the analyses here expose the
+// *mechanism*: the failed-steal flood of Figure 7 shows up directly as
+// refused-steal search blame, and the long termination tails of the
+// reference round-robin policy as termination-tail blame and token
+// segments on the critical path.
+//
+// Everything in this package is a pure function of a *trace.Trace —
+// no clocks, no randomness, no instrumentation of its own — so the
+// same analysis runs offline in cmd/tracetool, inside cmd/experiments
+// tables, and behind a /metrics endpoint via Publish.
+//
+// # Event matching
+//
+// The engine records sends on the sender and receives on the receiver,
+// and the network preserves per-pair ordering (MPI non-overtaking), so
+// transfers and token hops are matched per ordered (sender, receiver)
+// pair in FIFO order. The per-rank recording rings are bounded and
+// evict oldest-first, so the two sides may each be missing a prefix:
+// matching aligns the *tails* of the two lists and drops any pair that
+// violates send-before-receive. A victim's EvStealRecv is recorded
+// immediately before its EvWorkSend/EvNoWorkSend answer (same
+// timestamp, adjacent in the per-rank log), which recovers the request
+// id of every transfer and, through the thief's EvStealSend, the full
+// request round trip.
+package causal
+
+import (
+	"sort"
+
+	"distws/internal/sim"
+	"distws/internal/trace"
+)
+
+// Transfer is one successful steal reconstructed from the event log:
+// work moved from Victim to Thief.
+type Transfer struct {
+	Victim, Thief int
+	// Send is the victim's EvWorkSend time, Recv the thief's
+	// EvWorkRecv time; SendIdx/RecvIdx locate the two events in the
+	// respective per-rank logs.
+	Send, Recv       sim.Time
+	SendIdx, RecvIdx int
+	// Nodes is the loot size carried by the transfer.
+	Nodes int64
+
+	// ReqSend/ReqSendIdx locate the thief's EvStealSend that this
+	// transfer answered; ReqSendIdx is -1 when the request could not
+	// be recovered (ring eviction). ReqID is the request id.
+	ReqSend    sim.Time
+	ReqSendIdx int
+	ReqID      uint64
+	// ReqBound reports that the victim answered the request the moment
+	// it was delivered (idle victim, or the one-sided protocol's NIC):
+	// the transfer was waiting on the request's flight, so the critical
+	// path runs through the thief's send. When false the victim
+	// answered at a quantum boundary of its own compute (a two-sided
+	// busy victim), and the path runs through the victim's quantum.
+	ReqBound bool
+
+	// Depth is the loot's migration depth: 1 for work stolen from a
+	// rank still holding its original lineage, d+1 for work whose
+	// victim had last been fed by a depth-d transfer. Parent indexes
+	// the victim's feeding transfer in Graph.Transfers, -1 at depth 1.
+	Depth  int
+	Parent int
+}
+
+// TokenHop is one termination-token delivery on the ring.
+type TokenHop struct {
+	From, To         int
+	Send, Recv       sim.Time
+	SendIdx, RecvIdx int
+}
+
+// Quantum is one compute quantum: a span during which a rank expanded
+// nodes without polling.
+type Quantum struct {
+	Start, End sim.Time
+}
+
+// idxRef maps a per-rank event index to an element of a Graph slice.
+type idxRef struct{ idx, ref int }
+
+// lookupRef finds the element for event index idx in a list sorted by
+// idx.
+func lookupRef(list []idxRef, idx int) (int, bool) {
+	i := sort.Search(len(list), func(i int) bool { return list[i].idx >= idx })
+	if i < len(list) && list[i].idx == idx {
+		return list[i].ref, true
+	}
+	return 0, false
+}
+
+// refBefore finds the element with the largest event index < idx.
+func refBefore(list []idxRef, idx int) (int, bool) {
+	i := sort.Search(len(list), func(i int) bool { return list[i].idx >= idx })
+	if i == 0 {
+		return 0, false
+	}
+	return list[i-1].ref, true
+}
+
+// Graph is the reconstructed causal graph of one run: compute quanta
+// as vertices, transfers and token hops as edges between ranks.
+type Graph struct {
+	// Transfers are the matched successful steals, ordered by
+	// (Send, Victim, SendIdx) so lineage parents precede children.
+	Transfers []Transfer
+	// TokenHops are the matched termination-token deliveries, ordered
+	// by (Send, From, SendIdx).
+	TokenHops []TokenHop
+	// Quanta are the per-rank compute quanta, time-ordered.
+	Quanta [][]Quantum
+
+	tr *trace.Trace
+	// Per-rank lookup tables from event index to the matched element:
+	// recvAt resolves an EvWorkRecv to its Transfer, tokenAt an
+	// EvTokenRecv to its TokenHop. Sorted by event index.
+	recvAt  [][]idxRef
+	tokenAt [][]idxRef
+}
+
+// Trace returns the trace the graph was built from.
+func (g *Graph) Trace() *trace.Trace { return g.tr }
+
+// Build reconstructs the causal graph from a trace. A trace without an
+// event log yields an empty graph (Blame still works from transitions
+// alone; CriticalPath degenerates to one unattributed segment).
+func Build(tr *trace.Trace) *Graph {
+	n := tr.Ranks()
+	g := &Graph{
+		tr:      tr,
+		Quanta:  make([][]Quantum, n),
+		recvAt:  make([][]idxRef, n),
+		tokenAt: make([][]idxRef, n),
+	}
+	if tr.Events == nil {
+		return g
+	}
+
+	// Index each rank's log once: send/recv event positions grouped by
+	// peer, the steal-send position of every request id, and the
+	// quantum spans.
+	workSend := make([]map[int][]int, n)
+	workRecv := make([]map[int][]int, n)
+	tokSend := make([]map[int][]int, n)
+	tokRecv := make([]map[int][]int, n)
+	stealSendAt := make([]map[uint64]int, n)
+	for r, es := range tr.Events {
+		qstart := -1
+		for i, e := range es {
+			switch e.Kind {
+			case trace.EvWorkSend:
+				workSend[r] = addPeerIdx(workSend[r], e.Peer, i)
+			case trace.EvWorkRecv:
+				workRecv[r] = addPeerIdx(workRecv[r], e.Peer, i)
+			case trace.EvTokenSend:
+				tokSend[r] = addPeerIdx(tokSend[r], e.Peer, i)
+			case trace.EvTokenRecv:
+				tokRecv[r] = addPeerIdx(tokRecv[r], e.Peer, i)
+			case trace.EvStealSend:
+				if stealSendAt[r] == nil {
+					stealSendAt[r] = make(map[uint64]int)
+				}
+				stealSendAt[r][uint64(e.Arg)] = i
+			case trace.EvQuantumStart:
+				qstart = i
+			case trace.EvQuantumEnd:
+				if qstart >= 0 {
+					g.Quanta[r] = append(g.Quanta[r], Quantum{Start: es[qstart].Time, End: e.Time})
+				}
+				qstart = -1
+			}
+		}
+	}
+
+	// Match transfers per ordered (victim, thief) pair, iterating
+	// receivers then sorted senders so the build is deterministic.
+	for thief := 0; thief < n; thief++ {
+		for _, victim := range sortedPeers(workRecv[thief]) {
+			sends := workSend[victim][thief]
+			recvs := workRecv[thief][victim]
+			k := len(sends)
+			if len(recvs) < k {
+				k = len(recvs)
+			}
+			// Tail-align: evictions drop oldest events first, so the
+			// surviving lists share a common suffix.
+			so, ro := len(sends)-k, len(recvs)-k
+			for i := 0; i < k; i++ {
+				si, ri := sends[so+i], recvs[ro+i]
+				se, re := tr.Events[victim][si], tr.Events[thief][ri]
+				if se.Time >= re.Time {
+					continue // misalignment; flight is >= 1ns
+				}
+				g.Transfers = append(g.Transfers, Transfer{
+					Victim: victim, Thief: thief,
+					Send: se.Time, Recv: re.Time,
+					SendIdx: si, RecvIdx: ri,
+					Nodes:      re.Arg,
+					ReqSendIdx: -1, Parent: -1,
+				})
+			}
+		}
+	}
+	for to := 0; to < n; to++ {
+		for _, from := range sortedPeers(tokRecv[to]) {
+			sends := tokSend[from][to]
+			recvs := tokRecv[to][from]
+			k := len(sends)
+			if len(recvs) < k {
+				k = len(recvs)
+			}
+			so, ro := len(sends)-k, len(recvs)-k
+			for i := 0; i < k; i++ {
+				si, ri := sends[so+i], recvs[ro+i]
+				se, re := tr.Events[from][si], tr.Events[to][ri]
+				if se.Time >= re.Time {
+					continue
+				}
+				g.TokenHops = append(g.TokenHops, TokenHop{
+					From: from, To: to,
+					Send: se.Time, Recv: re.Time,
+					SendIdx: si, RecvIdx: ri,
+				})
+			}
+		}
+	}
+
+	// Recover each transfer's steal request and its binding, then
+	// order transfers so every lineage parent precedes its children:
+	// a parent's Recv is at or before its child's Send at the shared
+	// rank, and flights are strictly positive, so sorting by Send time
+	// gives parents strictly smaller keys.
+	for i := range g.Transfers {
+		g.resolveRequest(&g.Transfers[i], stealSendAt)
+	}
+	sort.SliceStable(g.Transfers, func(a, b int) bool {
+		ta, tb := &g.Transfers[a], &g.Transfers[b]
+		if ta.Send != tb.Send {
+			return ta.Send < tb.Send
+		}
+		if ta.Victim != tb.Victim {
+			return ta.Victim < tb.Victim
+		}
+		return ta.SendIdx < tb.SendIdx
+	})
+	sort.SliceStable(g.TokenHops, func(a, b int) bool {
+		ha, hb := &g.TokenHops[a], &g.TokenHops[b]
+		if ha.Send != hb.Send {
+			return ha.Send < hb.Send
+		}
+		if ha.From != hb.From {
+			return ha.From < hb.From
+		}
+		return ha.SendIdx < hb.SendIdx
+	})
+
+	// Lookup tables, then lineage. recvAt must be sorted by event
+	// index; per rank the transfer order above already ascends in
+	// RecvIdx-time, but not necessarily in index, so sort explicitly.
+	for i, t := range g.Transfers {
+		g.recvAt[t.Thief] = append(g.recvAt[t.Thief], idxRef{idx: t.RecvIdx, ref: i})
+	}
+	for i, h := range g.TokenHops {
+		g.tokenAt[h.To] = append(g.tokenAt[h.To], idxRef{idx: h.RecvIdx, ref: i})
+	}
+	for r := range g.recvAt {
+		sortRefs(g.recvAt[r])
+		sortRefs(g.tokenAt[r])
+	}
+	for i := range g.Transfers {
+		t := &g.Transfers[i]
+		if ref, ok := refBefore(g.recvAt[t.Victim], t.SendIdx); ok {
+			t.Parent = ref
+			t.Depth = g.Transfers[ref].Depth + 1
+		} else {
+			t.Depth = 1
+		}
+	}
+	return g
+}
+
+// resolveRequest recovers the steal request a transfer answered: the
+// victim records EvStealRecv immediately before its EvWorkSend, and
+// the thief's EvStealSend carries the same request id.
+func (g *Graph) resolveRequest(t *Transfer, stealSendAt []map[uint64]int) {
+	ev := g.tr.Events[t.Victim]
+	if t.SendIdx == 0 {
+		return
+	}
+	pe := ev[t.SendIdx-1]
+	if pe.Kind != trace.EvStealRecv || pe.Peer != t.Thief {
+		return // request observation evicted from the victim's ring
+	}
+	t.ReqID = uint64(pe.Arg)
+	// The victim answered at a poll boundary iff an EvQuantumEnd sits
+	// at the same timestamp earlier in its log (quantum end is
+	// recorded before the poll that handles the request). Otherwise
+	// the answer happened at delivery: the victim was idle, or the
+	// one-sided protocol served the request mid-quantum.
+	reqBound := true
+	for j := t.SendIdx - 2; j >= 0 && ev[j].Time == pe.Time; j-- {
+		if ev[j].Kind == trace.EvQuantumEnd {
+			reqBound = false
+			break
+		}
+	}
+	if si, ok := stealSendAt[t.Thief][t.ReqID]; ok {
+		se := g.tr.Events[t.Thief][si]
+		if se.Kind == trace.EvStealSend && se.Peer == t.Victim && se.Time < t.Send {
+			t.ReqSend = se.Time
+			t.ReqSendIdx = si
+		}
+	}
+	t.ReqBound = reqBound && t.ReqSendIdx >= 0
+}
+
+// addPeerIdx appends an event index to the peer-grouped map, creating
+// the map on first use.
+func addPeerIdx(m map[int][]int, peer, idx int) map[int][]int {
+	if peer < 0 {
+		return m
+	}
+	if m == nil {
+		m = make(map[int][]int)
+	}
+	m[peer] = append(m[peer], idx)
+	return m
+}
+
+// sortedPeers returns the map's keys in ascending order, so matching
+// never depends on map iteration order.
+func sortedPeers(m map[int][]int) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	peers := make([]int, 0, len(m))
+	for p := range m {
+		peers = append(peers, p)
+	}
+	sort.Ints(peers)
+	return peers
+}
+
+func sortRefs(list []idxRef) {
+	sort.Slice(list, func(a, b int) bool { return list[a].idx < list[b].idx })
+}
+
+// MigrationDepths histograms the transfers by lineage depth:
+// result[d] transfers moved work that had survived d steals. Index 0
+// is always zero (a transfer is at least depth 1).
+func (g *Graph) MigrationDepths() []uint64 {
+	var out []uint64
+	for _, t := range g.Transfers {
+		for len(out) <= t.Depth {
+			out = append(out, 0)
+		}
+		out[t.Depth]++
+	}
+	return out
+}
+
+// MaxDepth returns the deepest migration observed, 0 with no transfers.
+func (g *Graph) MaxDepth() int {
+	max := 0
+	for _, t := range g.Transfers {
+		if t.Depth > max {
+			max = t.Depth
+		}
+	}
+	return max
+}
+
+// Chain returns the steal chain feeding transfer i, oldest first, as
+// indices into Transfers: the element at depth 1 moved work off its
+// original owner's line and the last element is i itself.
+func (g *Graph) Chain(i int) []int {
+	var rev []int
+	for j := i; j >= 0; j = g.Transfers[j].Parent {
+		rev = append(rev, j)
+	}
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
+	}
+	return rev
+}
+
+// ChainRanks renders transfer i's chain as the rank route the work
+// took: victim of the first hop, then each successive thief.
+func (g *Graph) ChainRanks(i int) []int {
+	chain := g.Chain(i)
+	ranks := make([]int, 0, len(chain)+1)
+	ranks = append(ranks, g.Transfers[chain[0]].Victim)
+	for _, j := range chain {
+		ranks = append(ranks, g.Transfers[j].Thief)
+	}
+	return ranks
+}
+
+// QuantaCount returns the total number of compute quanta (the causal
+// graph's vertices) across ranks.
+func (g *Graph) QuantaCount() int {
+	n := 0
+	for _, qs := range g.Quanta {
+		n += len(qs)
+	}
+	return n
+}

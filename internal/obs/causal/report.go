@@ -1,0 +1,161 @@
+package causal
+
+import (
+	"fmt"
+	"io"
+
+	"distws/internal/obs"
+	"distws/internal/sim"
+)
+
+// pct renders part as a percentage of whole, safe on whole == 0.
+func pct(part, whole sim.Duration) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// WriteBlameText renders the blame attribution as a deterministic
+// fixed-width table: one row per rank, then the aggregate with each
+// category's share of total rank-time (ranks × makespan).
+func WriteBlameText(w io.Writer, b *Blame) error {
+	makespan := sim.Duration(b.End)
+	if _, err := fmt.Fprintf(w, "idle-time blame: %d ranks, makespan %s\n", b.Ranks(), makespan); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%6s %14s %14s %14s %14s %14s\n",
+		"rank", "busy", "startup", "search", "in-flight", "term-tail"); err != nil {
+		return err
+	}
+	for r, rb := range b.PerRank {
+		if _, err := fmt.Fprintf(w, "%6d %14s %14s %14s %14s %14s\n",
+			r, rb.Busy, rb.Startup, rb.Search, rb.InFlight, rb.TermTail); err != nil {
+			return err
+		}
+	}
+	tot := b.Total
+	whole := tot.Total()
+	_, err := fmt.Fprintf(w, "%6s %13.1f%% %13.1f%% %13.1f%% %13.1f%% %13.1f%%\n",
+		"all",
+		pct(tot.Busy, whole), pct(tot.Startup, whole), pct(tot.Search, whole),
+		pct(tot.InFlight, whole), pct(tot.TermTail, whole))
+	return err
+}
+
+// criticalSegmentLimit caps the per-segment listing in the text report;
+// the decomposition table above it always covers the whole path.
+const criticalSegmentLimit = 64
+
+// WriteCriticalText renders the critical path: the makespan
+// decomposition by segment kind, then the segment chain (capped, the
+// cap is reported).
+func WriteCriticalText(w io.Writer, p Path) error {
+	if _, err := fmt.Fprintf(w, "critical path: %d segments, makespan %s\n", len(p.Segments), p.Total); err != nil {
+		return err
+	}
+	for k := SegmentKind(0); k < NumSegmentKinds; k++ {
+		if _, err := fmt.Fprintf(w, "%12s %14s %6.1f%%\n", k, p.ByKind[k], pct(p.ByKind[k], p.Total)); err != nil {
+			return err
+		}
+	}
+	n := len(p.Segments)
+	shown := n
+	if shown > criticalSegmentLimit {
+		shown = criticalSegmentLimit
+	}
+	for _, s := range p.Segments[:shown] {
+		if _, err := fmt.Fprintf(w, "  %-10s rank %4d  [%s, %s)  %s\n",
+			s.Kind, s.Rank, sim.Duration(s.Start), sim.Duration(s.End), s.Duration()); err != nil {
+			return err
+		}
+	}
+	if n > shown {
+		if _, err := fmt.Fprintf(w, "  ... %d more segments\n", n-shown); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteLineageText renders the work-lineage summary: the
+// migration-depth histogram and the route of the deepest steal chain.
+func WriteLineageText(w io.Writer, g *Graph) error {
+	depths := g.MigrationDepths()
+	if _, err := fmt.Fprintf(w, "work lineage: %d transfers, max migration depth %d\n",
+		len(g.Transfers), g.MaxDepth()); err != nil {
+		return err
+	}
+	for d := 1; d < len(depths); d++ {
+		if _, err := fmt.Fprintf(w, "%9s %2d %8d\n", "depth", d, depths[d]); err != nil {
+			return err
+		}
+	}
+	if deep := g.deepestTransfer(); deep >= 0 {
+		route := g.ChainRanks(deep)
+		if _, err := fmt.Fprintf(w, "deepest chain:"); err != nil {
+			return err
+		}
+		for i, r := range route {
+			sep := " -> "
+			if i == 0 {
+				sep = " "
+			}
+			if _, err := fmt.Fprintf(w, "%s%d", sep, r); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deepestTransfer returns the index of the first transfer at MaxDepth,
+// -1 with no transfers. First-in-sorted-order makes the choice
+// deterministic.
+func (g *Graph) deepestTransfer() int {
+	best, depth := -1, 0
+	for i, t := range g.Transfers {
+		if t.Depth > depth {
+			best, depth = i, t.Depth
+		}
+	}
+	return best
+}
+
+// Publish exports the causal analyses into a metrics registry as
+// aggregate counters and a migration-depth histogram. It is called
+// after a run completes, never from the engine hot path, so the
+// engine's own metric set — and the golden traced-run exposition — is
+// unchanged. All arguments are optional: nil graph/blame or a
+// zero-value path publish nothing for the missing part.
+func Publish(reg *obs.Registry, g *Graph, p Path, b *Blame) {
+	if reg == nil {
+		return
+	}
+	if g != nil {
+		reg.Counter("causal_transfers_total").Add(uint64(len(g.Transfers)))
+		reg.Counter("causal_token_hops_total").Add(uint64(len(g.TokenHops)))
+		reg.Counter("causal_quanta_total").Add(uint64(g.QuantaCount()))
+		h := reg.Histogram("causal_migration_depth")
+		for _, t := range g.Transfers {
+			h.Observe(int64(t.Depth))
+		}
+	}
+	if p.Total > 0 {
+		reg.Counter("causal_critical_compute_ns").Add(uint64(p.ByKind[SegCompute]))
+		reg.Counter("causal_critical_steal_rtt_ns").Add(uint64(p.ByKind[SegStealRTT]))
+		reg.Counter("causal_critical_transfer_ns").Add(uint64(p.ByKind[SegTransfer]))
+		reg.Counter("causal_critical_token_ns").Add(uint64(p.ByKind[SegToken]))
+		reg.Counter("causal_critical_wait_ns").Add(uint64(p.ByKind[SegWait]))
+	}
+	if b != nil {
+		reg.Counter("causal_busy_ns_total").Add(uint64(b.Total.Busy))
+		reg.Counter("causal_blame_startup_ns_total").Add(uint64(b.Total.Startup))
+		reg.Counter("causal_blame_search_ns_total").Add(uint64(b.Total.Search))
+		reg.Counter("causal_blame_inflight_ns_total").Add(uint64(b.Total.InFlight))
+		reg.Counter("causal_blame_termtail_ns_total").Add(uint64(b.Total.TermTail))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"distws/internal/sim"
 	"distws/internal/trace"
@@ -31,12 +32,37 @@ type chromeEvent struct {
 // usec converts virtual nanoseconds to trace microseconds.
 func usec(t sim.Time) float64 { return float64(t) / 1e3 }
 
+// HighlightSpan is one span rendered on the highlight track (PID 1) —
+// the Chrome exporter's hook for derived analyses like the critical
+// path. This package only draws the spans; internal/obs/causal computes
+// them, keeping the exporter free of a dependency on the analysis.
+type HighlightSpan struct {
+	// Name labels the slice (e.g. a critical-path segment kind).
+	Name string
+	// Rank is attached as an argument so the viewer can cross-reference
+	// the rank timeline the span came from.
+	Rank       int
+	Start, End sim.Time
+}
+
+// ChromeOptions selects the optional tracks of WriteChromeTraceOpts.
+type ChromeOptions struct {
+	// Highlight, when non-empty, adds a "critical path" process whose
+	// single thread carries the given spans as slices.
+	Highlight []HighlightSpan
+}
+
 // WriteChromeTrace renders tr as Chrome trace-event JSON: one thread
 // per rank, complete ("X") slices for active phases and work-discovery
-// sessions, instant events for the protocol log, and flow arrows from
-// each successful steal request to its work delivery. Load the file at
+// sessions, instant events for the protocol log, flow arrows for steal
+// transactions, and an occupancy counter track. Load the file at
 // ui.perfetto.dev (or chrome://tracing) to scrub through the run.
 func WriteChromeTrace(w io.Writer, tr *trace.Trace) error {
+	return WriteChromeTraceOpts(w, tr, ChromeOptions{})
+}
+
+// WriteChromeTraceOpts is WriteChromeTrace with optional extra tracks.
+func WriteChromeTraceOpts(w io.Writer, tr *trace.Trace, opts ChromeOptions) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
 		return err
@@ -116,20 +142,29 @@ func WriteChromeTrace(w io.Writer, tr *trace.Trace) error {
 		}
 	}
 
-	// Flow arrows for successful steals: Perfetto draws an arrow from
-	// the request send on the thief to the work delivery.
+	// Flow arrows for steal transactions: Perfetto draws an arrow from
+	// the request send on the thief to its resolution. Successful and
+	// refused steals get separately named arrows so the failed-steal
+	// floods of the paper's Figure 7 are visible as a distinct pattern;
+	// aborted steals never resolve, so they stay arrow-less instants.
 	for id, p := range PairSteals(tr) {
-		if p.Outcome != StealSuccess {
+		var name string
+		switch p.Outcome {
+		case StealSuccess:
+			name = "steal"
+		case StealRefused:
+			name = "steal-refused"
+		default:
 			continue
 		}
 		if err := emit(chromeEvent{
-			Name: "steal", Cat: "flow", Phase: "s",
+			Name: name, Cat: "flow", Phase: "s",
 			TS: usec(p.Send), PID: 0, TID: p.Thief, ID: id + 1,
 		}); err != nil {
 			return err
 		}
 		if err := emit(chromeEvent{
-			Name: "steal", Cat: "flow", Phase: "f", BP: "e",
+			Name: name, Cat: "flow", Phase: "f", BP: "e",
 			TS: usec(p.End), PID: 0, TID: p.Thief, ID: id + 1,
 			Args: map[string]any{"victim": p.Victim, "nodes": p.Nodes},
 		}); err != nil {
@@ -137,10 +172,84 @@ func WriteChromeTrace(w io.Writer, tr *trace.Trace) error {
 		}
 	}
 
+	// Occupancy counter track: the number of active ranks at each
+	// transition timestamp — the paper's occupancy curve as a Perfetto
+	// "C" track, O(transitions) events.
+	if err := emitOccupancy(tr, emit); err != nil {
+		return err
+	}
+
+	// Highlight track: derived spans (the critical path) on their own
+	// process so they sit visually apart from the rank timelines.
+	if len(opts.Highlight) > 0 {
+		if err := emit(chromeEvent{
+			Name: "process_name", Phase: "M", PID: 1,
+			Args: map[string]any{"name": "critical path"},
+		}); err != nil {
+			return err
+		}
+		for _, h := range opts.Highlight {
+			if err := emit(chromeEvent{
+				Name: h.Name, Cat: "critical", Phase: "X",
+				TS: usec(h.Start), Dur: usec(h.End) - usec(h.Start), PID: 1, TID: 0,
+				Args: map[string]any{"rank": h.Rank},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
 	if _, err := bw.WriteString("]}\n"); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// emitOccupancy merges the per-rank transitions into one step curve of
+// active-rank count and emits it as counter events.
+func emitOccupancy(tr *trace.Trace, emit func(chromeEvent) error) error {
+	type step struct {
+		t     sim.Time
+		delta int
+	}
+	var steps []step
+	for _, trs := range tr.Transitions {
+		for _, x := range trs {
+			d := -1
+			if x.State == trace.Active {
+				d = +1
+			}
+			steps = append(steps, step{t: x.Time, delta: d})
+		}
+	}
+	if len(steps) == 0 {
+		return nil
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i].t < steps[j].t })
+	active := 0
+	for i, s := range steps {
+		active += s.delta
+		// Coalesce simultaneous transitions into one counter sample.
+		if i+1 < len(steps) && steps[i+1].t == s.t {
+			continue
+		}
+		if err := emit(chromeEvent{
+			Name: "occupancy", Cat: "activity", Phase: "C",
+			TS: usec(s.t), PID: 0, TID: 0,
+			Args: map[string]any{"active": active},
+		}); err != nil {
+			return err
+		}
+	}
+	// Close the curve at trace end so the last step has width.
+	if last := steps[len(steps)-1].t; last < tr.End {
+		return emit(chromeEvent{
+			Name: "occupancy", Cat: "activity", Phase: "C",
+			TS: usec(tr.End), PID: 0, TID: 0,
+			Args: map[string]any{"active": active},
+		})
+	}
+	return nil
 }
 
 // rankLabel zero-pads so Perfetto's lexicographic thread sort matches

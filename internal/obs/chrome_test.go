@@ -54,7 +54,7 @@ func TestWriteChromeTrace(t *testing.T) {
 		t.Fatal("no trace events emitted")
 	}
 	phases := map[string]int{}
-	var threads, actives, flowStarts, flowEnds int
+	var threads, actives, flowStarts, flowEnds, refusedStarts, refusedEnds int
 	for _, e := range doc.TraceEvents {
 		phases[e.Phase]++
 		switch {
@@ -72,6 +72,13 @@ func TestWriteChromeTrace(t *testing.T) {
 			if e.ID == 0 {
 				t.Fatal("flow event without id")
 			}
+		case e.Name == "steal-refused" && e.Phase == "s":
+			refusedStarts++
+		case e.Name == "steal-refused" && e.Phase == "f":
+			refusedEnds++
+			if e.ID == 0 {
+				t.Fatal("refused flow event without id")
+			}
 		}
 	}
 	if threads != 3 {
@@ -84,13 +91,112 @@ func TestWriteChromeTrace(t *testing.T) {
 	if phases["i"] == 0 {
 		t.Fatal("no instant events for the protocol log")
 	}
-	// One successful steal → exactly one flow arrow.
+	// One successful steal → exactly one flow arrow; likewise the one
+	// refused steal; the aborted steal never resolves and gets none.
 	if flowStarts != 1 || flowEnds != 1 {
 		t.Fatalf("flow events: %d starts, %d ends, want 1 each", flowStarts, flowEnds)
+	}
+	if refusedStarts != 1 || refusedEnds != 1 {
+		t.Fatalf("refused flow events: %d starts, %d ends, want 1 each", refusedStarts, refusedEnds)
 	}
 	// Timestamps are microseconds: the t=10ns steal-send lands at 0.01.
 	if !strings.Contains(buf.String(), `"ts":0.01`) {
 		t.Fatal("nanosecond→microsecond conversion missing")
+	}
+}
+
+func TestChromeOccupancyTrack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, chromeFixture()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	type sample struct {
+		ts     float64
+		active float64
+	}
+	var got []sample
+	for _, e := range doc.TraceEvents {
+		if e.Name != "occupancy" || e.Phase != "C" {
+			continue
+		}
+		got = append(got, sample{ts: e.TS, active: e.Args["active"].(float64)})
+	}
+	// Transitions: three ranks active at 0 (coalesced into one sample),
+	// rank 0 idles at 40, rank 2 at 50, rank 0 resumes at 70, plus the
+	// closing sample at the 120ns trace end. Timestamps in usec.
+	want := []sample{{0, 3}, {0.04, 2}, {0.05, 1}, {0.07, 2}, {0.12, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("occupancy samples = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("occupancy sample %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriteChromeTraceHighlight(t *testing.T) {
+	var buf bytes.Buffer
+	opts := ChromeOptions{Highlight: []HighlightSpan{
+		{Name: "compute", Rank: 1, Start: 0, End: 40},
+		{Name: "transfer", Rank: 2, Start: 40, End: 55},
+		{Name: "compute", Rank: 0, Start: 55, End: 120},
+	}}
+	if err := WriteChromeTraceOpts(&buf, chromeFixture(), opts); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Cat   string         `json:"cat"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var spans, procMeta int
+	for _, e := range doc.TraceEvents {
+		if e.Cat == "critical" && e.Phase == "X" {
+			spans++
+			if e.PID != 1 {
+				t.Fatalf("highlight span on pid %d, want 1", e.PID)
+			}
+			if _, ok := e.Args["rank"]; !ok {
+				t.Fatalf("highlight span without rank arg: %+v", e)
+			}
+		}
+		if e.Name == "process_name" && e.Phase == "M" && e.PID == 1 {
+			procMeta++
+		}
+	}
+	if spans != 3 {
+		t.Fatalf("highlight spans = %d, want 3", spans)
+	}
+	if procMeta != 1 {
+		t.Fatalf("highlight process metadata = %d, want 1", procMeta)
+	}
+
+	// Without highlights the extra process must not appear.
+	buf.Reset()
+	if err := WriteChromeTraceOpts(&buf, chromeFixture(), ChromeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "critical path") {
+		t.Fatal("highlight process emitted without highlight spans")
 	}
 }
 

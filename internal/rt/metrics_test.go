@@ -41,6 +41,10 @@ func TestMetricsRegistry(t *testing.T) {
 			t.Fatalf("%v: wait histogram %d observations, %d steals",
 				q, reg.Histogram(MetricStealWait).Count(), res.Steals)
 		}
+		if res.Steals > 0 && reg.Histogram(MetricMigration).Count() != res.Steals {
+			t.Fatalf("%v: migration histogram %d observations, %d steals",
+				q, reg.Histogram(MetricMigration).Count(), res.Steals)
+		}
 		var buf bytes.Buffer
 		if err := reg.WritePrometheus(&buf); err != nil {
 			t.Fatal(err)

@@ -120,6 +120,7 @@ const (
 	MetricNodes        = "rt_nodes_total"
 	MetricStealWait    = "rt_steal_wait_ns"
 	MetricProbes       = "rt_probe_matrix"
+	MetricMigration    = "rt_migration_depth"
 )
 
 // rtMetrics pre-resolves registry handles so workers pay one atomic op
@@ -129,6 +130,7 @@ type rtMetrics struct {
 	fails     *obs.Counter
 	chunks    *obs.Counter
 	stealWait *obs.Histogram
+	migration *obs.Histogram
 	probes    *obs.Matrix
 }
 
@@ -141,6 +143,7 @@ func newRTMetrics(reg *obs.Registry, workers int) *rtMetrics {
 		fails:     reg.Counter(MetricFailedSteals),
 		chunks:    reg.Counter(MetricChunks),
 		stealWait: reg.Histogram(MetricStealWait),
+		migration: reg.Histogram(MetricMigration),
 		probes:    reg.Matrix(MetricProbes, workers),
 	}
 }
@@ -177,7 +180,15 @@ type worker struct {
 	maxDepth      int32
 	steals, fails uint64
 	released      uint64
-	_             [4]uint64 // pad against false sharing of hot fields
+
+	// gen is the migration depth of the work the worker currently
+	// holds — the shared-memory analogue of the simulator's work
+	// lineage. Thieves read their victim's gen and store gen+1, so it
+	// is atomic: both sides touch it concurrently. Only maintained when
+	// metrics are on (it feeds rt_migration_depth and nothing else).
+	gen atomic.Int64
+
+	_ [4]uint64 // pad against false sharing of hot fields
 }
 
 type pool struct {
@@ -349,6 +360,9 @@ func (p *pool) stealLoopDeque(w *worker) bool {
 			if p.met != nil {
 				p.met.steals.Inc()
 				p.met.stealWait.Observe(int64(time.Since(waitStart)))
+				d := v.gen.Load() + 1
+				w.gen.Store(d)
+				p.met.migration.Observe(d)
 			}
 			w.dq.PushBottom(n)
 			return true
@@ -494,6 +508,9 @@ func (p *pool) stealLoop(w *worker) bool {
 			if p.met != nil {
 				p.met.steals.Inc()
 				p.met.stealWait.Observe(int64(time.Since(waitStart)))
+				d := v.gen.Load() + 1
+				w.gen.Store(d)
+				p.met.migration.Observe(d)
 			}
 			w.local = append(w.local, loot...)
 			return true
