@@ -6,7 +6,7 @@
 GO ?= go
 ARTIFACTS ?= artifacts
 
-.PHONY: build test vet distwsvet race lint obs-smoke causal-smoke bench-json bench-smoke check clean
+.PHONY: build test vet distwsvet race lint obs-smoke causal-smoke chaos-smoke bench-json bench-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -59,19 +59,42 @@ causal-smoke: obs-smoke
 		{ echo "causal-smoke: critical path missing from smoke.blame.txt"; exit 1; }
 	@echo "causal-smoke: wrote $(ARTIFACTS)/smoke.blame.txt"
 
+# chaos-smoke drives the fault-injection subsystem end to end: a tiny
+# crash+straggler run through cmd/uts must terminate completely,
+# report nonzero recovery activity, and replay byte-identically (the
+# fault schedule is part of the seeded state). The chaos degradation
+# table (harness experiment "chaos") lands in $(ARTIFACTS)/ alongside
+# the observability artifacts; its shape checks gate the exit status.
+CHAOS_RUN = $(GO) run ./cmd/uts -tree T3 -ranks 16 -seed 7 \
+	-crash 3@40us,11@90us -straggler 5@3x2
+
+chaos-smoke:
+	@mkdir -p $(ARTIFACTS)
+	$(CHAOS_RUN) > $(ARTIFACTS)/chaos.txt
+	@$(CHAOS_RUN) | cmp -s - $(ARTIFACTS)/chaos.txt || \
+		{ echo "chaos-smoke: faulted run is not replay-identical"; exit 1; }
+	@grep -q "crashed ranks:   2" $(ARTIFACTS)/chaos.txt || \
+		{ echo "chaos-smoke: expected 2 crashed ranks"; cat $(ARTIFACTS)/chaos.txt; exit 1; }
+	@grep -q "recoveries:" $(ARTIFACTS)/chaos.txt || \
+		{ echo "chaos-smoke: no recovery episodes recorded"; cat $(ARTIFACTS)/chaos.txt; exit 1; }
+	@if grep -q "WARNING: premature" $(ARTIFACTS)/chaos.txt; then \
+		echo "chaos-smoke: premature termination under faults"; exit 1; fi
+	$(GO) run ./cmd/experiments -run chaos -scale quick -o $(ARTIFACTS)/chaos.table.txt
+	@echo "chaos-smoke: wrote $(ARTIFACTS)/chaos.txt and chaos.table.txt"
+
 # Hot-path benchmarks of the simulation substrate (event kernel,
 # messaging, latency lookup, UTS hashing), exported as a JSON artifact
 # for archiving and cross-commit comparison. BENCHTIME=1x gives the
 # CI smoke variant below; default is a real measurement.
 BENCHTIME ?= 1s
-BENCH_PKGS = ./internal/sim ./internal/comm ./internal/topology ./internal/uts
-BENCH_NAMES = BenchmarkKernelHotPath|BenchmarkCommSend|BenchmarkLatencyLookup|BenchmarkUTSChildGen
+BENCH_PKGS = ./internal/sim ./internal/comm ./internal/topology ./internal/uts ./internal/fault .
+BENCH_NAMES = BenchmarkKernelHotPath|BenchmarkCommSend|BenchmarkLatencyLookup|BenchmarkUTSChildGen|BenchmarkFaultInjection
 
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_NAMES)' -benchmem \
 		-benchtime $(BENCHTIME) $(BENCH_PKGS) | \
 		$(GO) run ./cmd/benchjson \
-		-require KernelHotPath,CommSend,LatencyLookup,UTSChildGen \
+		-require KernelHotPath,CommSend,LatencyLookup,UTSChildGen,FaultInjection/nil-plan,FaultInjection/crashes,FaultInjection/lossy \
 		-out BENCH_sim.json
 	@echo "bench-json: wrote BENCH_sim.json"
 
@@ -83,7 +106,7 @@ bench-smoke:
 	$(GO) test -run 'AllocFree' -count=1 $(BENCH_PKGS)
 	$(MAKE) bench-json BENCHTIME=1x
 
-check: build lint vet distwsvet test race causal-smoke
+check: build lint vet distwsvet test race causal-smoke chaos-smoke
 	@echo "check: all gates passed"
 
 clean:

@@ -10,9 +10,11 @@ import (
 	"testing"
 
 	"distws/internal/core"
+	"distws/internal/fault"
 	"distws/internal/harness"
 	"distws/internal/obs"
 	"distws/internal/rt"
+	"distws/internal/sim"
 	"distws/internal/uts"
 	"distws/internal/victim"
 )
@@ -65,6 +67,7 @@ func BenchmarkAblationProtocol(b *testing.B)     { benchExperiment(b, "ablation-
 func BenchmarkAblationAborts(b *testing.B)       { benchExperiment(b, "ablation-aborts") }
 func BenchmarkAblationJitter(b *testing.B)       { benchExperiment(b, "ablation-jitter") }
 func BenchmarkExtensionDAG(b *testing.B)         { benchExperiment(b, "ext-dag") }
+func BenchmarkChaos(b *testing.B)                { benchExperiment(b, "chaos") }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: virtual
 // events and tree nodes processed per wall second for one mid-size
@@ -126,6 +129,56 @@ func BenchmarkObservability(b *testing.B) {
 				res, err := core.Run(cfg)
 				if err != nil {
 					b.Fatal(err)
+				}
+				nodes += res.Nodes
+			}
+			b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/s")
+		})
+	}
+}
+
+// BenchmarkFaultInjection measures what the fault subsystem costs the
+// simulator. nil-plan is the zero-overhead fast path (no injector, no
+// interposer — the golden test proves it is also bit-identical);
+// crashes compiles an injector but needs no interposer; lossy
+// interposes on every send for drop/dup draws plus timeout recovery.
+func BenchmarkFaultInjection(b *testing.B) {
+	base := core.Config{
+		Tree:      uts.MustPreset("H-TINY").Params,
+		Ranks:     64,
+		Selector:  victim.NewDistanceSkewed,
+		Steal:     core.StealHalf,
+		ChunkSize: 4,
+		Seed:      1,
+	}
+	// Crash times sit at ~15% and ~40% of the fault-free 2.16ms makespan.
+	crashes := []fault.Crash{
+		{Rank: 16, At: sim.Time(300 * sim.Microsecond)},
+		{Rank: 48, At: sim.Time(800 * sim.Microsecond)},
+	}
+	variants := []struct {
+		name string
+		plan *fault.Plan
+	}{
+		{"nil-plan", nil},
+		{"crashes", &fault.Plan{Seed: 1, Crashes: crashes,
+			Stragglers: []fault.Straggler{{Rank: 8, Compute: 2}}}},
+		{"lossy", &fault.Plan{Seed: 1, Crashes: crashes,
+			Links: []fault.LinkFault{{From: fault.Wildcard, To: fault.Wildcard, Drop: 0.03, Dup: 0.02}}}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := base
+			cfg.Faults = v.plan
+			b.ReportAllocs()
+			var nodes uint64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.plan != nil && res.Nodes+res.LostNodes != res.NodesGenerated {
+					b.Fatalf("accounting broken: %d+%d != %d", res.Nodes, res.LostNodes, res.NodesGenerated)
 				}
 				nodes += res.Nodes
 			}

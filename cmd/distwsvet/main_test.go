@@ -133,3 +133,39 @@ func TestCausalPackageCleanWithoutAllowlists(t *testing.T) {
 		t.Errorf("finding: %v", d)
 	}
 }
+
+// TestFaultPackageCleanWithoutAllowlists machine-checks the fault
+// subsystem (internal/fault) with every exception stripped. The whole
+// point of the package is deterministic adversity: crash times come
+// from the plan, drop/dup draws from the plan's own seeded stream. Any
+// global randomness or wall-clock read would make fault schedules
+// unreplayable, so the package must pass the bare analyzers with no
+// allowlist entry.
+func TestFaultPackageCleanWithoutAllowlists(t *testing.T) {
+	const pkg = "distws/internal/fault"
+	for _, e := range append(append([]string{}, randExempt...), wallClockOK...) {
+		if pkg == e {
+			t.Fatalf("%s is allowlisted (%v); fault injection must pass unexcepted", pkg, e)
+		}
+	}
+	pkgs, err := analysis.Load("../..", pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	bare := []*analysis.Analyzer{
+		detrand.New(nil),
+		walltime.New(virtualTime, nil),
+		lockcheck.New(),
+		atomicmix.New(),
+	}
+	diags, err := analysis.Run(pkgs, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding: %v", d)
+	}
+}

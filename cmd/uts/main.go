@@ -35,22 +35,25 @@ import (
 
 func main() {
 	var (
-		treeFlag     = flag.String("tree", "H-SMALL", "tree preset (see -listtrees)")
-		ranksFlag    = flag.Int("ranks", 64, "number of simulated MPI ranks")
-		placeFlag    = flag.String("placement", "1/N", "rank placement: 1/N, 8RR or 8G")
-		selFlag      = flag.String("selector", "RoundRobin", "victim selector (see -listselectors)")
-		stealFlag    = flag.String("steal", "one", "steal amount: one|half")
-		chunkFlag    = flag.Int("chunk", 4, "nodes per chunk (UTS default is 20; scaled experiments use 4)")
-		nodeCostFlag = flag.Duration("nodecost", 0, "virtual time per child generation (default 1µs)")
-		seedFlag     = flag.Uint64("seed", 1, "random seed")
-		detFlag      = flag.String("termination", "Safra", "termination detector: Safra|Ring")
-		traceFlag    = flag.String("trace", "", "write the activity trace + event log (JSONL) to this file")
-		chromeFlag   = flag.String("chrome", "", "write a Chrome trace-event JSON file (open in Perfetto)")
-		eventsFlag   = flag.Bool("events", false, "collect the protocol event log even without -trace/-chrome")
-		eventBufFlag = flag.Int("eventbuf", 0, "per-rank event ring capacity (0 = default)")
-		obsFlag      = flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :6060)")
-		listTrees    = flag.Bool("listtrees", false, "list tree presets and exit")
-		listSel      = flag.Bool("listselectors", false, "list victim selectors and exit")
+		treeFlag      = flag.String("tree", "H-SMALL", "tree preset (see -listtrees)")
+		ranksFlag     = flag.Int("ranks", 64, "number of simulated MPI ranks")
+		placeFlag     = flag.String("placement", "1/N", "rank placement: 1/N, 8RR or 8G")
+		selFlag       = flag.String("selector", "RoundRobin", "victim selector (see -listselectors)")
+		stealFlag     = flag.String("steal", "one", "steal amount: one|half")
+		chunkFlag     = flag.Int("chunk", 4, "nodes per chunk (UTS default is 20; scaled experiments use 4)")
+		nodeCostFlag  = flag.Duration("nodecost", 0, "virtual time per child generation (default 1µs)")
+		seedFlag      = flag.Uint64("seed", 1, "random seed")
+		detFlag       = flag.String("termination", "Safra", "termination detector: Safra|Ring")
+		traceFlag     = flag.String("trace", "", "write the activity trace + event log (JSONL) to this file")
+		chromeFlag    = flag.String("chrome", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		eventsFlag    = flag.Bool("events", false, "collect the protocol event log even without -trace/-chrome")
+		eventBufFlag  = flag.Int("eventbuf", 0, "per-rank event ring capacity (0 = default)")
+		obsFlag       = flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :6060)")
+		faultsFlag    = flag.String("faults", "", "JSON fault-plan file (crashes, stragglers, lossy links)")
+		crashFlag     = flag.String("crash", "", "inline crash schedule: rank@time,... (e.g. 3@40us,11@2ms)")
+		stragglerFlag = flag.String("straggler", "", "inline stragglers: rank@compute[xsend],... (e.g. 5@3x2)")
+		listTrees     = flag.Bool("listtrees", false, "list tree presets and exit")
+		listSel       = flag.Bool("listselectors", false, "list victim selectors and exit")
 	)
 	flag.Parse()
 
@@ -102,6 +105,13 @@ func main() {
 	}
 
 	collectEvents := *eventsFlag || *traceFlag != "" || *chromeFlag != ""
+	if *eventBufFlag != 0 && !collectEvents {
+		fatalf("-eventbuf has no effect without -events, -trace or -chrome")
+	}
+	plan, err := buildFaultPlan(*faultsFlag, *crashFlag, *stragglerFlag, *seedFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	var reg *obs.Registry
 	if *obsFlag != "" {
 		reg = obs.NewRegistry()
@@ -127,6 +137,7 @@ func main() {
 		CollectEvents: collectEvents,
 		EventBuffer:   *eventBufFlag,
 		Metrics:       reg,
+		Faults:        plan,
 	}
 	res, err := core.Run(cfg)
 	if err != nil {
@@ -158,6 +169,30 @@ func main() {
 
 	if res.MaxMigrationDepth > 0 {
 		fmt.Printf("  work lineage:    max migration depth %d\n", res.MaxMigrationDepth)
+	}
+
+	if res.PerRankFaults != nil {
+		fmt.Printf("\n  fault injection:\n")
+		fmt.Printf("  crashed ranks:   %d\n", res.CrashedRanks)
+		fmt.Printf("  nodes generated: %d (%d completed, %d lost)\n",
+			res.NodesGenerated, res.Nodes, res.LostNodes)
+		fmt.Printf("  lost messages:   %d (work in flight to/from dead ranks)\n", res.LostMessages)
+		fmt.Printf("  msgs dropped:    %d\n", res.Comm.TotalDropped())
+		fmt.Printf("  token regens:    %d\n", res.TokenRegens)
+		if res.Recoveries > 0 {
+			fmt.Printf("  recoveries:      %d (mean latency %v)\n", res.Recoveries, res.MeanRecoveryLatency)
+		}
+		for _, f := range res.PerRankFaults {
+			if !f.Crashed && f.LostNodes == 0 && f.Timeouts == 0 && f.Blacklists == 0 {
+				continue
+			}
+			status := "survived"
+			if f.Crashed {
+				status = fmt.Sprintf("crashed @%v", sim.Duration(f.CrashedAt))
+			}
+			fmt.Printf("    rank %4d: %-18s lost %d nodes, %d timeouts, %d blacklists\n",
+				f.Rank, status, f.LostNodes, f.Timeouts, f.Blacklists)
+		}
 	}
 
 	if res.Trace != nil {

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"distws/internal/fault"
+	"distws/internal/sim"
+)
+
+func TestParseCrashSpec(t *testing.T) {
+	got, err := parseCrashSpec("3@40us, 11@2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fault.Crash{
+		{Rank: 3, At: sim.Time(40 * sim.Microsecond)},
+		{Rank: 11, At: sim.Time(2 * sim.Millisecond)},
+	}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("parseCrashSpec = %+v, want %+v", got, want)
+	}
+	for _, bad := range []string{"", "3", "3@", "@40us", "x@40us", "3@40", "3@-1ms", "-1@40us", "3@40us,,"} {
+		if _, err := parseCrashSpec(bad); err == nil {
+			t.Errorf("parseCrashSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseStragglerSpec(t *testing.T) {
+	got, err := parseStragglerSpec("5@3x2,7@1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fault.Straggler{
+		{Rank: 5, Compute: 3, Send: 2},
+		{Rank: 7, Compute: 1.5},
+	}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("parseStragglerSpec = %+v, want %+v", got, want)
+	}
+	for _, bad := range []string{"", "5", "5@", "5@0.5", "5@3x0.5", "5@x2", "a@3", "5@3xb"} {
+		if _, err := parseStragglerSpec(bad); err == nil {
+			t.Errorf("parseStragglerSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildFaultPlanConflicts(t *testing.T) {
+	if _, err := buildFaultPlan("plan.json", "3@40us", "", 1); err == nil ||
+		!strings.Contains(err.Error(), "conflicts") {
+		t.Fatalf("plan file + -crash accepted: %v", err)
+	}
+	if _, err := buildFaultPlan("plan.json", "", "5@3", 1); err == nil ||
+		!strings.Contains(err.Error(), "conflicts") {
+		t.Fatalf("plan file + -straggler accepted: %v", err)
+	}
+}
+
+func TestBuildFaultPlanInline(t *testing.T) {
+	plan, err := buildFaultPlan("", "", "", 1)
+	if err != nil || plan != nil {
+		t.Fatalf("no flags should yield no plan, got %+v, %v", plan, err)
+	}
+	plan, err = buildFaultPlan("", "3@40us", "5@3", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 42 || len(plan.Crashes) != 1 || len(plan.Stragglers) != 1 {
+		t.Fatalf("inline plan wrong: %+v", plan)
+	}
+}
+
+func TestBuildFaultPlanFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	data := `{"seed": 9, "crashes": [{"rank": 2, "at": 50000}]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := buildFaultPlan(path, "", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 9 || len(plan.Crashes) != 1 || plan.Crashes[0].Rank != 2 {
+		t.Fatalf("parsed plan wrong: %+v", plan)
+	}
+	if _, err := buildFaultPlan(filepath.Join(t.TempDir(), "missing.json"), "", "", 1); err == nil {
+		t.Fatal("missing plan file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"unknown_field": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildFaultPlan(bad, "", "", 1); err == nil {
+		t.Fatal("malformed plan file accepted")
+	}
+}

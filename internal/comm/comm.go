@@ -105,11 +105,14 @@ type Message struct {
 	DeliveredAt sim.Time
 }
 
-// Stats aggregates traffic counters.
+// Stats aggregates traffic counters. Dropped and Duplicated stay zero
+// unless an interposer (fault injection) is installed.
 type Stats struct {
-	Sent     [numTags]uint64
-	Bytes    [numTags]uint64
-	Received [numTags]uint64
+	Sent       [numTags]uint64
+	Bytes      [numTags]uint64
+	Received   [numTags]uint64
+	Dropped    [numTags]uint64
+	Duplicated [numTags]uint64
 }
 
 // TotalSent returns the number of messages sent across all tags.
@@ -123,6 +126,31 @@ func (s *Stats) TotalSent() uint64 {
 
 // SentByTag returns the number of messages sent with the given tag.
 func (s *Stats) SentByTag(tag Tag) uint64 { return s.Sent[tag] }
+
+// TotalDropped returns the number of messages lost in transit across
+// all tags (zero without an interposer).
+func (s *Stats) TotalDropped() uint64 {
+	var t uint64
+	for _, v := range s.Dropped {
+		t += v
+	}
+	return t
+}
+
+// Interposer sits between send and delivery and decides each message's
+// fate: how many copies arrive (0 drops it, 1 is normal transit, 2
+// duplicates it) and with what delay. Implementations must be
+// deterministic functions of the virtual-time event order — the fault
+// injector in internal/fault draws from its own seeded stream. A nil
+// interposer is the fast path: send() takes one predicted branch and
+// performs no calls or allocations.
+type Interposer interface {
+	// Outcome inspects an outgoing message and the delay the latency
+	// model assigned. It returns the number of copies to deliver and the
+	// (possibly inflated) delay. The message is owned by the network;
+	// implementations must not retain it.
+	Outcome(m *Message, delay sim.Duration) (copies int, newDelay sim.Duration)
+}
 
 // mailbox is one rank's delivered-but-unpolled queue: a ring buffer
 // that Poll drains in delivery order. Only deliveries add to it and a
@@ -196,6 +224,10 @@ type Network struct {
 	mailbox []mailbox
 	notify  []func()
 	stats   Stats
+
+	// interposer, when non-nil, decides per-message drop/duplicate/delay
+	// outcomes (fault injection). Nil in fault-free runs.
+	interposer Interposer
 
 	// pool is the Message free list; Free returns messages to it.
 	pool []*Message
@@ -285,6 +317,29 @@ func (n *Network) send(m *Message) {
 		// request/reply livelocks in the simulator.
 		delay = 1
 	}
+	if n.interposer != nil {
+		copies, d := n.interposer.Outcome(m, delay)
+		if d > 0 {
+			delay = d
+		}
+		if copies <= 0 {
+			// Lost in transit: the sent/bytes counters above stand (the
+			// bytes hit the wire) but the message never arrives.
+			n.stats.Dropped[m.Tag]++
+			n.Free(m)
+			return
+		}
+		n.kernel.AfterArg(delay, n.deliver, m)
+		for c := 1; c < copies; c++ {
+			// Duplicate delivery: the copy rides the same delay and lands
+			// right after the original (FIFO event order).
+			dup := n.alloc()
+			*dup = *m
+			n.stats.Duplicated[dup.Tag]++
+			n.kernel.AfterArg(delay, n.deliver, dup)
+		}
+		return
+	}
 	n.kernel.AfterArg(delay, n.deliver, m)
 }
 
@@ -341,6 +396,11 @@ func (n *Network) Poll(rank int) []*Message {
 
 // Pending reports whether rank has delivered-but-unpolled messages.
 func (n *Network) Pending(rank int) bool { return n.mailbox[rank].n > 0 }
+
+// SetInterposer installs (or, with nil, removes) the message
+// interposer consulted on every send. It must be set before traffic
+// starts; swapping it mid-run would break replay determinism.
+func (n *Network) SetInterposer(ip Interposer) { n.interposer = ip }
 
 // SetNotify installs fn to be invoked (at delivery virtual time)
 // whenever a message is delivered to rank. Passing nil uninstalls it.

@@ -314,3 +314,103 @@ func TestSendTokenCarriesToken(t *testing.T) {
 		t.Fatalf("token message corrupted: %+v", msgs[0])
 	}
 }
+
+// scriptedInterposer drops, duplicates, or delays by tag — a test
+// double for the fault injector.
+type scriptedInterposer struct {
+	dropTag Tag
+	dupTag  Tag
+	delay   sim.Duration // replaces the model delay when nonzero
+}
+
+func (s *scriptedInterposer) Outcome(m *Message, delay sim.Duration) (int, sim.Duration) {
+	if s.delay != 0 {
+		delay = s.delay
+	}
+	switch m.Tag {
+	case s.dropTag:
+		return 0, delay
+	case s.dupTag:
+		return 2, delay
+	}
+	return 1, delay
+}
+
+func TestInterposerDropsAndDuplicates(t *testing.T) {
+	k, n := testNetwork(t, 2)
+	n.SetInterposer(&scriptedInterposer{dropTag: TagNoWork, dupTag: TagStealRequest})
+	n.SendID(0, 1, TagStealRequest, 7, 8)
+	n.SendID(0, 1, TagNoWork, 7, 8)
+	n.SendID(0, 1, TagWork, 7, 8)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	msgs := n.Poll(1)
+	if len(msgs) != 3 {
+		t.Fatalf("polled %d messages, want 3 (dup request + work, no-work dropped)", len(msgs))
+	}
+	// FIFO: the original precedes its duplicate.
+	if msgs[0].Tag != TagStealRequest || msgs[1].Tag != TagStealRequest || msgs[2].Tag != TagWork {
+		t.Fatalf("unexpected delivery order: %v %v %v", msgs[0].Tag, msgs[1].Tag, msgs[2].Tag)
+	}
+	if msgs[1].ID != 7 || msgs[1].From != 0 {
+		t.Fatalf("duplicate lost its fields: %+v", msgs[1])
+	}
+	st := n.Stats()
+	if st.Dropped[TagNoWork] != 1 || st.TotalDropped() != 1 {
+		t.Fatalf("dropped counters: %+v", st.Dropped)
+	}
+	if st.Duplicated[TagStealRequest] != 1 {
+		t.Fatalf("duplicated counters: %+v", st.Duplicated)
+	}
+	// Sent counts the original sends only; Received counts what arrived.
+	if st.Sent[TagStealRequest] != 1 || st.Received[TagStealRequest] != 2 {
+		t.Fatalf("sent/received: %d/%d", st.Sent[TagStealRequest], st.Received[TagStealRequest])
+	}
+	if st.Received[TagNoWork] != 0 {
+		t.Fatal("dropped message was received")
+	}
+}
+
+func TestInterposerDelaysDelivery(t *testing.T) {
+	k, n := testNetwork(t, 2)
+	n.SendID(0, 1, TagWork, 1, 8)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	base := n.Poll(1)[0].DeliveredAt
+	spike := 10 * base
+	n.SetInterposer(&scriptedInterposer{dropTag: numTags, dupTag: numTags, delay: sim.Duration(spike)})
+	start := k.Now()
+	n.SendID(0, 1, TagWork, 2, 8)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Poll(1)[0].DeliveredAt - start
+	if got != sim.Time(spike) {
+		t.Fatalf("interposed delay %v, want %v", got, spike)
+	}
+}
+
+func TestInterposerDroppedMessageIsPooled(t *testing.T) {
+	k, n := testNetwork(t, 2)
+	n.SetInterposer(&scriptedInterposer{dropTag: TagNoWork, dupTag: numTags})
+	n.SendID(0, 1, TagNoWork, 1, 8)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The dropped message went straight back to the free list: the next
+	// alloc must reuse it rather than touch the heap.
+	if len(n.pool) != 1 {
+		t.Fatalf("pool holds %d messages after a drop, want 1", len(n.pool))
+	}
+	recycled := n.pool[0]
+	n.SendID(0, 1, TagWork, 2, 8)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	msgs := n.Poll(1)
+	if len(msgs) != 1 || msgs[0] != recycled {
+		t.Fatal("drop did not recycle the message through the pool")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 
+	"distws/internal/fault"
 	"distws/internal/obs"
 	"distws/internal/sim"
 	"distws/internal/term"
@@ -82,6 +83,11 @@ const (
 	DefaultHandleRequestCost = 600 * sim.Nanosecond
 	// DefaultMaxVirtualTime aborts runaway simulations.
 	DefaultMaxVirtualTime = sim.Time(24 * 3600 * 1e9) // one virtual day
+	// DefaultFaultStealTimeout arms aborting steals when a lossy fault
+	// plan is active and Config.StealTimeout was left zero: without a
+	// timeout, a thief whose request (or its reply) died with a crashed
+	// rank or a dropped message would wait forever.
+	DefaultFaultStealTimeout = 100 * sim.Microsecond
 )
 
 // Config describes one simulated execution.
@@ -141,6 +147,14 @@ type Config struct {
 	// the zero value selects DefaultBackoff, Threshold < 0 disables
 	// throttling entirely (reference-faithful immediate retry).
 	BackoffPolicy Backoff
+
+	// Faults, when non-nil, is the deterministic fault plan injected
+	// into the run (internal/fault): fail-stop crashes, stragglers, and
+	// link-level drop/duplication/latency spikes. A nil (or empty) plan
+	// keeps every fault-free fast path: the run is bit-identical to one
+	// built without the field. Lossy plans arm DefaultFaultStealTimeout
+	// unless StealTimeout is set explicitly.
+	Faults *fault.Plan
 
 	// Seed drives every random choice of the run.
 	Seed uint64
@@ -219,6 +233,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxVirtualTime == 0 {
 		c.MaxVirtualTime = DefaultMaxVirtualTime
 	}
+	if c.StealTimeout == 0 && c.Faults != nil && c.Faults.Lossy() {
+		c.StealTimeout = DefaultFaultStealTimeout
+	}
 	return c
 }
 
@@ -235,6 +252,11 @@ func (c Config) Validate() error {
 	}
 	if c.NodeCost < 0 || c.StealResponseCost < 0 {
 		return errors.New("core: negative cost")
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.Ranks); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"distws/internal/comm"
+	"distws/internal/fault"
 	"distws/internal/obs"
 	"distws/internal/sim"
 	"distws/internal/term"
@@ -26,6 +27,9 @@ const (
 	rsBackoff
 	// rsDone: the rank observed termination.
 	rsDone
+	// rsCrashed: the rank fail-stopped (fault injection); it never acts
+	// again and everything addressed to it is discarded on arrival.
+	rsCrashed
 )
 
 // Backoff controls how idle ranks throttle steal attempts once a long
@@ -39,13 +43,26 @@ const (
 type Backoff struct {
 	Threshold int
 	Base, Max sim.Duration
+
+	// BlacklistAfter and BlacklistFor extend the policy under a fault
+	// plan: after BlacklistAfter consecutive timeouts against the same
+	// victim, the thief stops picking it for BlacklistFor of virtual
+	// time (a crashed rank never answers, so retrying it is pure
+	// waste). Zero values select the defaults below. Without a fault
+	// plan the fields are ignored — fault-free timeouts come from the
+	// aborting-steals ablation, where the victim is alive and merely
+	// slow, and skipping it would change the experiment.
+	BlacklistAfter int
+	BlacklistFor   sim.Duration
 }
 
 // DefaultBackoff is used when Config.Backoff is the zero value.
 var DefaultBackoff = Backoff{
-	Threshold: 64,
-	Base:      100 * sim.Microsecond,
-	Max:       2 * sim.Millisecond,
+	Threshold:      64,
+	Base:           100 * sim.Microsecond,
+	Max:            2 * sim.Millisecond,
+	BlacklistAfter: 2,
+	BlacklistFor:   1 * sim.Millisecond,
 }
 
 // rank is the per-rank engine state.
@@ -57,6 +74,11 @@ type rank struct {
 	// NodeCost units (one per child generated, one per leaf).
 	nodes, leaves, units uint64
 	maxDepth             int32
+	// generated counts nodes this rank materialized: rank 0's root plus
+	// every child it pushed. Summed over ranks it bounds the whole
+	// tree; under fault injection the accounting invariant is
+	// completed + lost == generated.
+	generated uint64
 
 	// In-progress node expansion, resumable across quanta so that a
 	// high-fanout node (e.g. a root with thousands of children) does
@@ -92,6 +114,22 @@ type rank struct {
 	// extraDelay accumulates steal-response packaging costs that push
 	// the next quantum start.
 	extraDelay sim.Duration
+
+	// consecTimeouts counts steal timeouts since the last reply, and
+	// lastAborted flags that the next request is a post-timeout retry
+	// (traced as EvStealRetry).
+	consecTimeouts int
+	lastAborted    bool
+
+	// Fault-injection state; the maps are allocated (and the fields
+	// touched) only when a fault plan is active.
+	crashedAt    sim.Time
+	lostNodes    uint64
+	timeouts     map[int]int      // per-victim consecutive timeouts
+	blackUntil   map[int]sim.Time // victim → blacklisted until
+	blacklists   uint64
+	recovering   bool     // a steal timed out; work not yet refound
+	recoverStart sim.Time // when the first timeout of the outage hit
 }
 
 type engine struct {
@@ -114,6 +152,22 @@ type engine struct {
 	quantumEndFn func(any)
 
 	backoffCfg Backoff
+
+	// Fault injection. inj is nil for fault-free runs, keeping every
+	// hot path on its existing branch-free course; blAfter/blFor are
+	// the resolved blacklist policy and reprobeFn the shared deferred
+	// lone-survivor check (see scheduleReprobe).
+	inj       *fault.Injector
+	blAfter   int
+	blFor     sim.Duration
+	reprobeFn func()
+
+	crashes      int
+	lostNodes    uint64
+	lostMsgs     uint64
+	tokenRegens  uint64
+	recoveries   uint64
+	recoverTotal sim.Duration
 
 	workSent, workReceived uint64
 	nodesSent              uint64
@@ -191,8 +245,49 @@ type Result struct {
 	// Comm is the network traffic summary.
 	Comm comm.Stats
 
+	// NodesGenerated is the number of tree nodes materialized across
+	// all ranks (rank 0's root plus every child pushed). Fault-free it
+	// equals Nodes; under fault injection the shortfall is exactly the
+	// work that died: Nodes + LostNodes == NodesGenerated.
+	NodesGenerated uint64
+
+	// Fault-injection summary, populated only when Config.Faults was
+	// active (all zero / nil otherwise).
+	CrashedRanks int
+	// LostNodes counts nodes destroyed by faults: stacks wiped by
+	// crashes plus loot in work messages that were dropped or
+	// dead-lettered at a crashed rank.
+	LostNodes uint64
+	// LostMessages counts work messages that were never processed.
+	LostMessages uint64
+	// TokenRegens counts termination tokens regenerated after a crash
+	// took one down (or took the ring initiator).
+	TokenRegens uint64
+	// Recoveries counts outages survived by thieves: episodes from a
+	// first steal timeout to the next successful work receipt.
+	// MeanRecoveryLatency averages their durations.
+	Recoveries          uint64
+	MeanRecoveryLatency sim.Duration
+	// PerRankFaults is the per-rank fault table.
+	PerRankFaults []RankFault
+
 	// Trace is the activity trace, when Config.CollectTrace was set.
 	Trace *trace.Trace
+}
+
+// RankFault is one rank's row in the fault table.
+type RankFault struct {
+	Rank    int
+	Crashed bool
+	// CrashedAt is the virtual time of death (-1 if it survived).
+	CrashedAt sim.Time
+	// LostNodes counts nodes this rank owned that died: its stack at
+	// crash time, plus loot it sent that was dropped or dead-lettered.
+	LostNodes uint64
+	// Timeouts and Blacklists count this rank's steal timeouts and the
+	// victims it temporarily blacklisted after repeated timeouts.
+	Timeouts   uint64
+	Blacklists uint64
 }
 
 // Run executes the configured simulation to termination and returns its
@@ -219,6 +314,11 @@ func Run(cfg Config) (*Result, error) {
 	e.kernel.SetTimeLimit(cfg.MaxVirtualTime)
 	e.net = comm.New(e.kernel, job, cfg.Latency)
 	e.sel = cfg.Selector(job, cfg.Seed)
+	inj, err := fault.Compile(cfg.Faults, cfg.Ranks, e.kernel)
+	if err != nil {
+		return nil, err
+	}
+	e.inj = inj
 	if cfg.CollectTrace || cfg.CollectEvents {
 		// The event log rides on the trace, so CollectEvents implies it.
 		e.rec = trace.NewRecorder(cfg.Ranks)
@@ -226,7 +326,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.CollectEvents {
 		e.ev = obs.NewRecorder(cfg.Ranks, cfg.EventBuffer)
 	}
-	e.met = newEngineMetrics(cfg.Metrics, cfg.Ranks)
+	e.met = newEngineMetrics(cfg.Metrics, cfg.Ranks, inj != nil)
 	e.rankArg = make([]any, cfg.Ranks)
 	e.quantumEndFn = func(a any) { e.quantumEnd(a.(int)) }
 	for i := range e.rankArg {
@@ -238,10 +338,37 @@ func Run(cfg Config) (*Result, error) {
 		r := i
 		e.net.SetNotify(r, func() { e.onDelivery(r) })
 	}
+	if inj != nil {
+		e.blAfter, e.blFor = e.backoffCfg.BlacklistAfter, e.backoffCfg.BlacklistFor
+		if e.blAfter <= 0 {
+			e.blAfter = DefaultBackoff.BlacklistAfter
+		}
+		if e.blFor <= 0 {
+			e.blFor = DefaultBackoff.BlacklistFor
+		}
+		e.reprobeFn = e.reprobeSurvivor
+		for i := range e.ranks {
+			e.ranks[i].crashedAt = -1
+			e.ranks[i].timeouts = make(map[int]int)
+			e.ranks[i].blackUntil = make(map[int]sim.Time)
+		}
+		// Crash-only plans skip the interposer entirely; link faults
+		// and straggler send multipliers need it on the send path.
+		if inj.NeedsInterposer() {
+			inj.OnDrop = e.onMessageDrop
+			inj.OnDup = e.onMessageDup
+			e.net.SetInterposer(inj)
+		}
+		for _, c := range cfg.Faults.SortedCrashes() {
+			c := c
+			e.kernel.At(c.At, func() { e.crashRank(c.Rank) })
+		}
+	}
 
 	// Rank 0 owns the root; everyone else starts searching at t = 0.
 	root := cfg.Tree.Root()
 	e.ranks[0].stack.Push(root)
+	e.ranks[0].generated++
 	e.recordState(0, 0, trace.Active)
 	e.startQuantum(0)
 	for r := 1; r < cfg.Ranks; r++ {
@@ -306,6 +433,7 @@ func (e *engine) startQuantum(r int) {
 			rk.stack.Push(rk.gen.Child(rk.expNext))
 			rk.expNext++
 			rk.units++
+			rk.generated++
 			continue
 		}
 		node, ok := rk.stack.Pop()
@@ -325,7 +453,11 @@ func (e *engine) startQuantum(r int) {
 		rk.expNext = 0
 		rk.expTotal = nchild
 	}
-	dur := sim.Duration(rk.units-start)*e.cfg.NodeCost + rk.extraDelay
+	compute := sim.Duration(rk.units-start) * e.cfg.NodeCost
+	if e.inj != nil {
+		compute = e.inj.ScaleCompute(r, compute)
+	}
+	dur := compute + rk.extraDelay
 	rk.extraDelay = 0
 	rk.quantum = e.kernel.AfterArg(dur, e.quantumEndFn, e.rankArg[r])
 }
@@ -333,7 +465,7 @@ func (e *engine) startQuantum(r int) {
 func (e *engine) quantumEnd(r int) {
 	rk := &e.ranks[r]
 	rk.quantum = sim.Event{}
-	if rk.state == rsDone {
+	if rk.state == rsDone || rk.state == rsCrashed {
 		return
 	}
 	e.ev.Record(r, e.kernel.Now(), trace.EvQuantumEnd, -1, int64(rk.units))
@@ -380,12 +512,19 @@ func (e *engine) goIdle(r int) {
 func (e *engine) sendSteal(r int) {
 	rk := &e.ranks[r]
 	v := e.sel.Next(r)
+	if e.inj != nil {
+		v = e.skipBlacklisted(r, v)
+	}
 	rk.pendingVictim = v
 	rk.reqID++
 	id := rk.reqID
 	rk.requests++
 	rk.waitStart = e.kernel.Now()
 	rk.state = rsSearching
+	if rk.lastAborted {
+		rk.lastAborted = false
+		e.ev.Record(r, rk.waitStart, trace.EvStealRetry, v, int64(rk.consecTimeouts))
+	}
 	e.ev.Record(r, rk.waitStart, trace.EvStealSend, v, int64(id))
 	if e.met != nil {
 		e.met.stealRequests.Inc()
@@ -395,6 +534,29 @@ func (e *engine) sendSteal(r int) {
 	if e.cfg.StealTimeout > 0 {
 		e.kernel.After(e.cfg.StealTimeout, func() { e.abortSteal(r, v, id) })
 	}
+}
+
+// skipBlacklisted re-rolls the victim choice past temporarily
+// blacklisted ranks (bounded, so a thief surrounded by corpses still
+// sends — and times out — rather than spinning).
+func (e *engine) skipBlacklisted(r, v int) int {
+	rk := &e.ranks[r]
+	if len(rk.blackUntil) == 0 {
+		return v
+	}
+	now := e.kernel.Now()
+	for tries := 0; tries < 8; tries++ {
+		until, ok := rk.blackUntil[v]
+		if !ok {
+			return v
+		}
+		if now >= until {
+			delete(rk.blackUntil, v)
+			return v
+		}
+		v = e.sel.Next(r)
+	}
+	return v
 }
 
 // abortSteal gives up on an outstanding request whose reply is late
@@ -409,7 +571,21 @@ func (e *engine) abortSteal(r, v int, id uint64) {
 	rk.searchWait += now.Sub(rk.waitStart)
 	rk.aborted++
 	rk.consecFails++
+	rk.consecTimeouts++
+	rk.lastAborted = true
 	rk.pendingVictim = -1
+	if e.inj != nil {
+		if !rk.recovering {
+			rk.recovering = true
+			rk.recoverStart = rk.waitStart
+		}
+		rk.timeouts[v]++
+		if rk.timeouts[v] >= e.blAfter {
+			delete(rk.timeouts, v)
+			rk.blackUntil[v] = now.Add(e.blFor)
+			rk.blacklists++
+		}
+	}
 	e.ev.Record(r, now, trace.EvStealAbort, v, int64(id))
 	if e.met != nil {
 		e.met.stealAborted.Inc()
@@ -422,6 +598,160 @@ func (e *engine) abortSteal(r, v int, id uint64) {
 	e.retryOrBackoff(r)
 }
 
+// crashRank fail-stops rank r at the current virtual time: its stack
+// and queued mailbox die with it, the termination ring heals around
+// the corpse (regenerating any token it held), and every later
+// delivery to it is discarded on arrival.
+func (e *engine) crashRank(r int) {
+	rk := &e.ranks[r]
+	if rk.state == rsDone || rk.state == rsCrashed {
+		return // termination beat the crash; nothing left to kill
+	}
+	now := e.kernel.Now()
+	wasWorking := rk.state == rsWorking
+	stackLost := uint64(rk.stack.Drop())
+	rk.expNext, rk.expTotal = 0, 0 // staged children were never generated
+	rk.crashedAt = now
+	rk.lostNodes += stackLost
+	e.lostNodes += stackLost
+	e.crashes++
+	e.kernel.Cancel(rk.quantum)
+	rk.quantum = sim.Event{}
+	rk.state = rsCrashed
+	e.ev.Record(r, now, trace.EvCrash, -1, int64(stackLost))
+	if e.met != nil {
+		e.met.crashes.Inc()
+		e.met.lostNodes.Add(stackLost)
+	}
+	if wasWorking {
+		e.recordState(r, now, trace.Idle)
+	} else if e.rec != nil {
+		e.rec.EndSession(r, now, false)
+	}
+	// Messages already delivered (or deferred to the next poll) die
+	// unread.
+	if len(rk.deferred) > 0 {
+		msgs := rk.deferred
+		rk.deferred = rk.deferred[:0]
+		for _, m := range msgs {
+			e.deadLetter(m)
+		}
+	}
+	for _, m := range e.net.Poll(r) {
+		e.deadLetter(m)
+	}
+	// Heal the termination ring; a token lost with the corpse — or the
+	// initiator role itself — moves to the lowest surviving rank.
+	initr := e.initiator()
+	initIdle := initr >= 0 &&
+		e.ranks[initr].state != rsWorking && e.ranks[initr].state != rsDone
+	sends := e.det.RemoveRank(r, initIdle)
+	e.forwardTokens(sends)
+	if initIdle && len(sends) == 0 {
+		// The (possibly new) initiator is already idle but the removal
+		// emitted nothing — this happens when the crashed rank was the
+		// initiator before any round started. Left alone, the first
+		// round would wait for an OnIdle that may never come again, so
+		// nudge the initiator now (a no-op if a round is in flight).
+		e.forwardTokens(e.det.OnIdle(initr))
+	}
+	if !e.checkTermination() {
+		e.scheduleReprobe()
+	}
+}
+
+// deadLetter discards a message addressed to a crashed rank. Lost loot
+// is booked against the sender, and the sender's in-flight message
+// count is resolved so the termination detector does not wait forever
+// for a receive that cannot happen.
+func (e *engine) deadLetter(m *comm.Message) {
+	e.ev.Record(m.From, e.kernel.Now(), trace.EvMsgDrop, m.To, int64(len(m.Nodes)))
+	if m.Tag == comm.TagWork {
+		e.noteWorkLost(m)
+	}
+	e.net.Free(m)
+}
+
+// noteWorkLost books a work message destroyed by a fault (dropped on a
+// link, or dead-lettered at a crashed rank).
+func (e *engine) noteWorkLost(m *comm.Message) {
+	n := uint64(len(m.Nodes))
+	e.lostNodes += n
+	e.lostMsgs++
+	e.ranks[m.From].lostNodes += n
+	e.det.WorkLost(m.From)
+	if e.met != nil {
+		e.met.lostNodes.Add(n)
+		e.met.lostMessages.Inc()
+	}
+	e.scheduleReprobe()
+}
+
+// onMessageDrop is the injector's drop observer: it runs inside the
+// send path, before the network reclaims the message.
+func (e *engine) onMessageDrop(m *comm.Message) {
+	e.ev.Record(m.From, e.kernel.Now(), trace.EvMsgDrop, m.To, int64(len(m.Nodes)))
+	if m.Tag == comm.TagWork {
+		e.noteWorkLost(m)
+	}
+}
+
+// onMessageDup is the injector's duplication observer.
+func (e *engine) onMessageDup(m *comm.Message) {
+	if e.met != nil {
+		e.met.dupMessages.Inc()
+	}
+}
+
+// initiator returns the termination ring's current initiator: the
+// lowest-numbered surviving rank (rank 0 until it crashes).
+func (e *engine) initiator() int {
+	if e.inj == nil {
+		return 0
+	}
+	for r := range e.ranks {
+		if e.ranks[r].state != rsCrashed {
+			return r
+		}
+	}
+	return 0
+}
+
+// scheduleReprobe arms a deferred check for the lone-survivor endgame.
+// When crashes shrink the ring to one rank, no tokens circulate, so a
+// WorkLost resolution arriving while the survivor idles would never
+// re-trigger the detector on its own. Deferred one tick because loss
+// resolution can fire from inside a message send.
+func (e *engine) scheduleReprobe() {
+	if e.inj == nil || e.detected {
+		return
+	}
+	e.kernel.After(1, e.reprobeFn)
+}
+
+func (e *engine) reprobeSurvivor() {
+	if e.detected {
+		return
+	}
+	surv, alive := -1, 0
+	for r := range e.ranks {
+		if e.ranks[r].state != rsCrashed {
+			surv = r
+			if alive++; alive > 1 {
+				return
+			}
+		}
+	}
+	if alive != 1 {
+		return
+	}
+	if rk := &e.ranks[surv]; rk.state == rsWorking || rk.state == rsDone {
+		return
+	}
+	e.forwardTokens(e.det.OnIdle(surv))
+	e.checkTermination()
+}
+
 // onDelivery is the network notify hook: it runs at message delivery
 // time. Idle ranks handle traffic immediately, like an MPI process
 // spinning on probe. Working ranks normally wait for their next poll;
@@ -430,6 +760,14 @@ func (e *engine) abortSteal(r, v int, id uint64) {
 // traffic is deferred to the poll.
 func (e *engine) onDelivery(r int) {
 	rk := &e.ranks[r]
+	if rk.state == rsCrashed {
+		// The corpse answers nothing; everything addressed to it dies
+		// in the mailbox, with lost loot resolved against the sender.
+		for _, m := range e.net.Poll(r) {
+			e.deadLetter(m)
+		}
+		return
+	}
 	if rk.state == rsWorking {
 		if e.cfg.Protocol == OneSided {
 			for _, m := range e.net.Poll(r) {
@@ -476,7 +814,15 @@ func (e *engine) handle(r int, m *comm.Message) {
 		if rk.state == rsDone {
 			// A work message can be in flight past a (Ring-detected)
 			// termination; dropping it leaves workSent != workReceived,
-			// which flags the run as premature.
+			// which flags the run as premature. Under fault injection
+			// the loot still counts as lost nodes so that
+			// completed + lost == generated holds even then — but not
+			// as a lost message, which would mask the prematurity.
+			if e.inj != nil {
+				n := uint64(len(m.Nodes))
+				e.lostNodes += n
+				e.ranks[m.From].lostNodes += n
+			}
 			return
 		}
 		now := e.kernel.Now()
@@ -488,7 +834,21 @@ func (e *engine) handle(r int, m *comm.Message) {
 		e.sel.Observe(r, m.From, true)
 		rk.successes++
 		rk.consecFails = 0
+		rk.consecTimeouts = 0
+		rk.lastAborted = false
 		rk.backoff = 0
+		if e.inj != nil {
+			delete(rk.timeouts, m.From)
+			if rk.recovering {
+				rk.recovering = false
+				e.recoveries++
+				d := now.Sub(rk.recoverStart)
+				e.recoverTotal += d
+				if e.met != nil {
+					e.met.recoveryLatency.Observe(int64(d))
+				}
+			}
+		}
 		// Work lineage: the loot's migration depth becomes the rank's
 		// (also when banking a late reply below — the banked nodes mix
 		// into the stack, and the freshest transfer wins).
@@ -534,7 +894,14 @@ func (e *engine) handle(r int, m *comm.Message) {
 		rk.searchWait += now.Sub(rk.waitStart)
 		rk.fails++
 		rk.consecFails++
+		rk.consecTimeouts = 0
+		rk.lastAborted = false
 		rk.pendingVictim = -1
+		if e.inj != nil {
+			// The victim answered: it is alive, whatever the timeout
+			// tally said.
+			delete(rk.timeouts, m.From)
+		}
 		e.ev.Record(r, now, trace.EvNoWorkRecv, m.From, int64(m.ID))
 		if e.met != nil {
 			e.met.stealFail.Inc()
@@ -654,11 +1021,19 @@ func (e *engine) retryOrBackoff(r int) {
 // forwardTokens transmits detector-emitted tokens on the ring.
 func (e *engine) forwardTokens(sends []term.Send) {
 	for _, s := range sends {
-		// The sender is the ring predecessor of the destination.
-		from := (s.To - 1 + e.cfg.Ranks) % e.cfg.Ranks
-		e.ev.Record(from, e.kernel.Now(), trace.EvTokenSend, s.To, 0)
-		e.met.link(from, s.To)
-		e.net.SendToken(from, s.To, s.Token, term.TokenBytes)
+		now := e.kernel.Now()
+		if s.Regen {
+			// The previous token died with a crashed rank (or the rank
+			// was the initiator itself); the healed ring starts over.
+			e.tokenRegens++
+			e.ev.Record(s.From, now, trace.EvTokenRegen, s.To, int64(s.Token.Round))
+			if e.met != nil {
+				e.met.tokenRegens.Inc()
+			}
+		}
+		e.ev.Record(s.From, now, trace.EvTokenSend, s.To, 0)
+		e.met.link(s.From, s.To)
+		e.net.SendToken(s.From, s.To, s.Token, term.TokenBytes)
 	}
 }
 
@@ -673,10 +1048,15 @@ func (e *engine) checkTermination() bool {
 	}
 	e.detected = true
 	e.detectedAt = e.kernel.Now()
-	// Detection happens at rank 0 for both detectors.
-	e.finishRank(0)
-	for r := 1; r < e.cfg.Ranks; r++ {
-		e.net.SendID(0, r, comm.TagTerminate, 0, 8)
+	// Detection happens at the ring initiator — rank 0 for both
+	// detectors unless crashes moved the role to a higher survivor.
+	initr := e.initiator()
+	e.finishRank(initr)
+	for r := 0; r < e.cfg.Ranks; r++ {
+		if r == initr || e.ranks[r].state == rsCrashed {
+			continue
+		}
+		e.net.SendID(initr, r, comm.TagTerminate, 0, 8)
 	}
 	return true
 }
@@ -684,7 +1064,7 @@ func (e *engine) checkTermination() bool {
 // finishRank marks r done and closes its trace state.
 func (e *engine) finishRank(r int) {
 	rk := &e.ranks[r]
-	if rk.state == rsDone {
+	if rk.state == rsDone || rk.state == rsCrashed {
 		return
 	}
 	now := e.kernel.Now()
@@ -717,6 +1097,7 @@ func (e *engine) result() *Result {
 		rk := &e.ranks[i]
 		res.Nodes += rk.nodes
 		res.Leaves += rk.leaves
+		res.NodesGenerated += rk.generated
 		totalUnits += rk.units
 		if rk.nodes > res.MaxRankNodes {
 			res.MaxRankNodes = rk.nodes
@@ -752,7 +1133,29 @@ func (e *engine) result() *Result {
 		res.MaxMigrationDepth = 0
 	}
 	res.TerminationRounds = e.det.Rounds()
-	res.Premature = remaining > 0 || e.workSent != e.workReceived
+	res.Premature = remaining > 0 || e.workSent != e.workReceived+e.lostMsgs
+	if e.inj != nil {
+		res.CrashedRanks = e.crashes
+		res.LostNodes = e.lostNodes
+		res.LostMessages = e.lostMsgs
+		res.TokenRegens = e.tokenRegens
+		res.Recoveries = e.recoveries
+		if e.recoveries > 0 {
+			res.MeanRecoveryLatency = e.recoverTotal / sim.Duration(e.recoveries)
+		}
+		res.PerRankFaults = make([]RankFault, e.cfg.Ranks)
+		for i := range e.ranks {
+			rk := &e.ranks[i]
+			res.PerRankFaults[i] = RankFault{
+				Rank:       i,
+				Crashed:    rk.state == rsCrashed,
+				CrashedAt:  rk.crashedAt,
+				LostNodes:  rk.lostNodes,
+				Timeouts:   rk.aborted,
+				Blacklists: rk.blacklists,
+			}
+		}
+	}
 	if e.rec != nil {
 		res.Trace = e.rec.Finish(e.detectedAt)
 		if d, ok := res.Trace.MeanSessionDuration(); ok {

@@ -26,6 +26,18 @@ const (
 	MetricLinkMessages  = "sim_link_messages"
 )
 
+// Fault metric names, registered only when a fault plan is active so
+// that fault-free expositions (pinned by the golden test) are
+// byte-identical with or without the subsystem compiled in.
+const (
+	MetricCrashes         = "sim_crashes_total"
+	MetricLostNodes       = "sim_lost_nodes_total"
+	MetricLostMessages    = "sim_lost_work_messages_total"
+	MetricDupMessages     = "sim_duplicated_messages_total"
+	MetricTokenRegens     = "sim_token_regens_total"
+	MetricRecoveryLatency = "sim_recovery_latency_ns"
+)
+
 // engineMetrics pre-resolves the registry handles the hot paths touch,
 // so instrumentation costs one nil check plus an atomic add instead of
 // a map lookup. A nil *engineMetrics disables metrics collection; the
@@ -41,9 +53,18 @@ type engineMetrics struct {
 	session       *obs.Histogram
 	chunkNodes    *obs.Histogram
 	links         *obs.Matrix
+
+	// Fault handles; nil (and hence no-ops) for fault-free runs, which
+	// keeps them out of the registry's exposition.
+	crashes         *obs.Counter
+	lostNodes       *obs.Counter
+	lostMessages    *obs.Counter
+	dupMessages     *obs.Counter
+	tokenRegens     *obs.Counter
+	recoveryLatency *obs.Histogram
 }
 
-func newEngineMetrics(reg *obs.Registry, ranks int) *engineMetrics {
+func newEngineMetrics(reg *obs.Registry, ranks int, faulted bool) *engineMetrics {
 	if reg == nil {
 		return nil
 	}
@@ -59,6 +80,14 @@ func newEngineMetrics(reg *obs.Registry, ranks int) *engineMetrics {
 	}
 	if ranks <= MatrixRankLimit {
 		m.links = reg.Matrix(MetricLinkMessages, ranks)
+	}
+	if faulted {
+		m.crashes = reg.Counter(MetricCrashes)
+		m.lostNodes = reg.Counter(MetricLostNodes)
+		m.lostMessages = reg.Counter(MetricLostMessages)
+		m.dupMessages = reg.Counter(MetricDupMessages)
+		m.tokenRegens = reg.Counter(MetricTokenRegens)
+		m.recoveryLatency = reg.Histogram(MetricRecoveryLatency)
 	}
 	return m
 }

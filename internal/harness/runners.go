@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"distws/internal/core"
+	"distws/internal/fault"
 	"distws/internal/sim"
 	"distws/internal/term"
 	"distws/internal/topology"
@@ -67,6 +68,8 @@ type Run struct {
 	StealTimeout sim.Duration
 	// Latency overrides the default hierarchical model when set.
 	Latency topology.LatencyModel
+	// Faults injects a deterministic fault plan when set (chaos runs).
+	Faults *fault.Plan
 }
 
 // config materializes the core.Config for a run.
@@ -91,6 +94,7 @@ func (r Run) config() core.Config {
 		Protocol:      r.Protocol,
 		StealTimeout:  r.StealTimeout,
 		Latency:       r.Latency,
+		Faults:        r.Faults,
 	}
 	switch {
 	case r.Backoff != (core.Backoff{}):

@@ -1,0 +1,181 @@
+package term
+
+import "testing"
+
+// Edge cases for ring healing under fail-stop rank removal. Both
+// detectors must route around dead ranks, regenerate tokens lost with
+// a crash, and drop stale tokens from abandoned rounds.
+
+func TestRemoveTokenHolder(t *testing.T) {
+	for name, factory := range Detectors {
+		d := factory(5)
+		busy := map[int]bool{2: true}
+		idle := func(r int) bool { return !busy[r] }
+		var sends []Send
+		for rank := 0; rank < 5; rank++ {
+			sends = append(sends, d.OnIdle(rank)...)
+		}
+		// The token parks on busy rank 2 and the ring stalls.
+		if left := pumpQueue(d, sends, idle, 100); len(left) != 0 {
+			t.Fatalf("%s: token did not park on the busy rank: %v", name, left)
+		}
+		if d.Terminated() {
+			t.Fatalf("%s: terminated while rank 2 active", name)
+		}
+		// Rank 2 dies holding the token: the initiator must regenerate.
+		regen := d.RemoveRank(2, true)
+		if len(regen) != 1 || regen[0].From != 0 || !regen[0].Regen {
+			t.Fatalf("%s: no regenerated token from the initiator: %v", name, regen)
+		}
+		if regen[0].To == 2 {
+			t.Fatalf("%s: regenerated token routed to the dead rank", name)
+		}
+		if !pump(d, regen, idle, 100) {
+			t.Fatalf("%s: regenerated token never settled", name)
+		}
+		if !d.Terminated() {
+			t.Fatalf("%s: no termination after healing around the token holder", name)
+		}
+	}
+}
+
+func TestRemoveRankZeroBeforeStart(t *testing.T) {
+	for name, factory := range Detectors {
+		d := factory(4)
+		// Rank 0 dies before any round starts: nothing to regenerate,
+		// and the initiator role falls to rank 1.
+		if out := d.RemoveRank(0, true); len(out) != 0 {
+			t.Fatalf("%s: regenerated a token before the first round: %v", name, out)
+		}
+		allIdle := func(int) bool { return true }
+		var sends []Send
+		for rank := 1; rank < 4; rank++ {
+			sends = append(sends, d.OnIdle(rank)...)
+		}
+		if len(sends) == 0 || sends[0].From != 1 {
+			t.Fatalf("%s: rank 1 did not take over initiation: %v", name, sends)
+		}
+		if !pump(d, sends, allIdle, 100) {
+			t.Fatalf("%s: token never settled", name)
+		}
+		if !d.Terminated() {
+			t.Fatalf("%s: no termination with rank 0 dead", name)
+		}
+	}
+}
+
+func TestRemoveRankZeroMidRound(t *testing.T) {
+	for name, factory := range Detectors {
+		d := factory(4)
+		busy := map[int]bool{3: true}
+		idle := func(r int) bool { return !busy[r] }
+		sends := d.OnIdle(0)
+		pumpQueue(d, sends, idle, 100) // token parks on rank 3
+		// The sitting initiator dies; rank 1 inherits the role and, being
+		// idle, restarts the round immediately.
+		regen := d.RemoveRank(0, true)
+		if len(regen) != 1 || regen[0].From != 1 {
+			t.Fatalf("%s: rank 1 did not regenerate after rank 0 died: %v", name, regen)
+		}
+		busy[3] = false
+		sends = append(regen, d.OnIdle(3)...)
+		if !pump(d, sends, idle, 100) {
+			t.Fatalf("%s: token never settled", name)
+		}
+		if !d.Terminated() {
+			t.Fatalf("%s: no termination after initiator crash", name)
+		}
+	}
+}
+
+func TestAllButOneCrashed(t *testing.T) {
+	for name, factory := range Detectors {
+		d := factory(6)
+		for rank := 0; rank < 5; rank++ {
+			d.RemoveRank(rank, true)
+		}
+		if d.Terminated() {
+			t.Fatalf("%s: terminated while the survivor never reported idle", name)
+		}
+		if out := d.OnIdle(5); len(out) != 0 {
+			t.Fatalf("%s: lone survivor emitted a token: %v", name, out)
+		}
+		if !d.Terminated() {
+			t.Fatalf("%s: lone idle survivor did not terminate", name)
+		}
+	}
+}
+
+// TestSafraCountTransferChain walks a count balance through a chain of
+// crashes: each removal must transfer the dead rank's balance to the
+// (possibly also later-crashing) initiator, and a WorkLost with a dead
+// sender must resolve against the final holder.
+func TestSafraCountTransferChain(t *testing.T) {
+	d := NewSafra(6)
+	d.WorkSent(3) // rank 3 has one unresolved work message in flight
+	for rank := 0; rank < 5; rank++ {
+		d.RemoveRank(rank, true)
+	}
+	// The survivor inherited the +1 balance: no termination yet.
+	if out := d.OnIdle(5); len(out) != 0 {
+		t.Fatalf("lone survivor emitted a token: %v", out)
+	}
+	if d.Terminated() {
+		t.Fatal("Safra terminated with an unresolved in-flight message")
+	}
+	// The message is finally lost (its sender is long dead); the balance
+	// resolves against the initiator and the survivor may terminate.
+	d.WorkLost(3)
+	d.OnIdle(5)
+	if !d.Terminated() {
+		t.Fatal("Safra did not terminate after the lost message resolved")
+	}
+}
+
+func TestRemoveAfterTermination(t *testing.T) {
+	for name, factory := range Detectors {
+		d := factory(2)
+		allIdle := func(int) bool { return true }
+		sends := append(d.OnIdle(0), d.OnIdle(1)...)
+		pump(d, sends, allIdle, 100)
+		if !d.Terminated() {
+			t.Fatalf("%s: setup failed", name)
+		}
+		if out := d.RemoveRank(1, true); len(out) != 0 {
+			t.Fatalf("%s: emitted after termination: %v", name, out)
+		}
+		if !d.Terminated() {
+			t.Fatalf("%s: termination verdict revoked by a late crash", name)
+		}
+	}
+}
+
+// TestStaleTokenDropped parks a token on a busy rank, abandons the
+// round with an unrelated crash, and checks the parked token is
+// discarded by round number when its holder finally idles.
+func TestStaleTokenDropped(t *testing.T) {
+	for name, factory := range Detectors {
+		d := factory(4)
+		busy := map[int]bool{3: true}
+		idle := func(r int) bool { return !busy[r] }
+		pumpQueue(d, d.OnIdle(0), idle, 100) // token parks on rank 3
+		regen := d.RemoveRank(1, true)
+		if len(regen) != 1 || regen[0].To != 2 {
+			t.Fatalf("%s: regenerated token did not skip the dead rank: %v", name, regen)
+		}
+		busy[3] = false
+		out := d.OnIdle(3)
+		if d.Terminated() {
+			t.Fatalf("%s: stale token decided a round", name)
+		}
+		// The parked token was stale: releasing it must either drop it
+		// outright or feed the current round, never fork a second token.
+		sends := append(regen, out...)
+		if !pump(d, sends, idle, 100) {
+			t.Fatalf("%s: token never settled", name)
+		}
+		if !d.Terminated() {
+			t.Fatalf("%s: no termination after stale token dropped", name)
+		}
+	}
+}

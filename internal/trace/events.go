@@ -45,6 +45,21 @@ const (
 	// cumulative expansion units (deltas between consecutive quantum
 	// ends give per-quantum work).
 	EvQuantumEnd
+	// EvCrash: the rank fail-stops (fault injection). Peer = -1,
+	// Arg = nodes lost from its local stack at the instant of death.
+	EvCrash
+	// EvStealRetry: a thief re-sends after a timed-out request.
+	// Peer = the new victim, Arg = consecutive timeouts so far.
+	EvStealRetry
+	// EvTokenRegen: the termination ring regenerates a token lost with a
+	// crashed rank. Recorded on the initiator alongside the EvTokenSend
+	// of the fresh token. Peer = successor, Arg = new round number.
+	EvTokenRegen
+	// EvMsgDrop: a message was lost — dropped by the faulty link or
+	// addressed to a crashed rank. Recorded on the sender at the moment
+	// the loss is resolved. Peer = destination, Arg = nodes lost
+	// (0 for control messages).
+	EvMsgDrop
 
 	// NumEventKinds bounds the kind space for validation and tables.
 	NumEventKinds
@@ -63,6 +78,10 @@ var eventKindNames = [NumEventKinds]string{
 	EvTerminate:    "terminate",
 	EvQuantumStart: "quantum-start",
 	EvQuantumEnd:   "quantum-end",
+	EvCrash:        "crash",
+	EvStealRetry:   "steal-retry",
+	EvTokenRegen:   "token-regen",
+	EvMsgDrop:      "msg-drop",
 }
 
 func (k EventKind) String() string {
@@ -112,8 +131,11 @@ func (t *Trace) TotalEventsDropped() uint64 {
 	return n
 }
 
-// EventCounts tallies the recorded events by kind.
-func (t *Trace) EventCounts() [NumEventKinds]uint64 {
+// EventCounts tallies the recorded events by kind. The slice is
+// trimmed of trailing zero counts, so its length is one past the
+// highest kind that actually occurred; runs predating a kind's
+// introduction tally identically before and after the taxonomy grows.
+func (t *Trace) EventCounts() []uint64 {
 	var counts [NumEventKinds]uint64
 	for _, es := range t.Events {
 		for _, e := range es {
@@ -122,5 +144,9 @@ func (t *Trace) EventCounts() [NumEventKinds]uint64 {
 			}
 		}
 	}
-	return counts
+	n := len(counts)
+	for n > 0 && counts[n-1] == 0 {
+		n--
+	}
+	return counts[:n:n]
 }

@@ -170,6 +170,21 @@ func (s *Stack) StealHalf() ([]uts.Node, int) {
 	return s.Steal((s.StealableChunks() + 1) / 2)
 }
 
+// Drop discards every node on the stack and returns how many were
+// lost. It exists for fault injection: a fail-stop crash takes the
+// rank's local work with it. The chunk buffers are recycled, but no
+// lifetime counter moves — dropped nodes were pushed and never popped,
+// which is exactly how a crash looks from the outside.
+func (s *Stack) Drop() int {
+	lost := s.Len()
+	for i := range s.chunks {
+		s.recycle(s.chunks[i])
+		s.chunks[i] = nil
+	}
+	s.chunks = s.chunks[:0]
+	return lost
+}
+
 // TakeTop removes and returns the top chunk regardless of the
 // private-chunk rule. It exists for owners reclaiming work from their
 // own shared stack (package rt): the private-top rule protects a chunk

@@ -362,3 +362,24 @@ func TestTakeTopReturnsNewestChunk(t *testing.T) {
 		t.Fatalf("remaining %d nodes", s.Len())
 	}
 }
+
+func TestDrop(t *testing.T) {
+	s := New(2)
+	for i := uint32(0); i < 7; i++ {
+		s.Push(node(i))
+	}
+	if lost := s.Drop(); lost != 7 {
+		t.Fatalf("Drop = %d, want 7", lost)
+	}
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("stack not empty after Drop")
+	}
+	if lost := s.Drop(); lost != 0 {
+		t.Fatalf("Drop on empty stack = %d", lost)
+	}
+	// The stack stays usable and reuses the recycled buffers.
+	s.Push(node(9))
+	if got, ok := s.Pop(); !ok || binary.BigEndian.Uint32(got.State[:4]) != 9 {
+		t.Fatalf("Pop after Drop = %v, %v", got, ok)
+	}
+}
