@@ -17,11 +17,17 @@ test:
 vet:
 	$(GO) vet ./...
 
-# distwsvet enforces the determinism and concurrency invariants:
-# detrand, walltime, lockcheck, atomicmix. See README "Enforced
-# invariants".
+# distwsvet enforces the determinism, ownership and allocation
+# invariants: detrand, walltime, lockcheck, atomicmix, handlesafe,
+# poolcheck, hotalloc, detorder. See README "Enforced invariants".
+# The run is budgeted so an analyzer pathology fails CI instead of
+# stalling it, and the JSON report (findings, suppressions with their
+# reasons, stale allowlist entries) lands in $(ARTIFACTS) for upload.
+DISTWSVET_BUDGET ?= 2m
 distwsvet:
-	$(GO) run ./cmd/distwsvet ./...
+	@mkdir -p $(ARTIFACTS)
+	$(GO) run ./cmd/distwsvet -budget $(DISTWSVET_BUDGET) -format json ./... > $(ARTIFACTS)/distwsvet.json || { cat $(ARTIFACTS)/distwsvet.json; exit 1; }
+	@echo "distwsvet: clean; report in $(ARTIFACTS)/distwsvet.json"
 
 # The concurrent packages get a dedicated race-detector pass; -short
 # keeps the stress budgets CI-sized.

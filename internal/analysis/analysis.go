@@ -6,10 +6,15 @@
 // It exists to make the repository's determinism and concurrency
 // invariants machine-checked rather than comment-enforced: the
 // simulator must be a pure function of its seed, so every random draw
-// has to flow through internal/rng and no virtual-time package may
-// consult the wall clock. The concrete analyzers live in the
-// subpackages detrand, walltime, lockcheck and atomicmix; the driver is
-// cmd/distwsvet.
+// has to flow through internal/rng, no virtual-time package may
+// consult the wall clock, arena event handles and pooled messages must
+// follow their ownership rules, and the deterministic packages must
+// stay free of ordering hazards before the kernel is sharded across
+// threads. A module-wide call graph (see CallGraph) lets the analyzers
+// follow these invariants through wrapper functions instead of only at
+// direct call sites. The concrete analyzers live in the subpackages
+// detrand, walltime, lockcheck, atomicmix, handlesafe, poolcheck,
+// hotalloc and detorder; the driver is cmd/distwsvet.
 package analysis
 
 import (
@@ -17,8 +22,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one named check over a type-checked package.
@@ -31,9 +38,11 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// Diagnostic is one finding, attributed to the analyzer that made it.
+// Diagnostic is one finding, attributed to the analyzer that made it
+// and the package it was found in.
 type Diagnostic struct {
 	Analyzer string
+	Package  string
 	Pos      token.Position
 	Message  string
 }
@@ -52,6 +61,10 @@ type Pass struct {
 	// ImportPath is the package's import path as the go tool reports
 	// it. Analyzers use it for allowlist decisions.
 	ImportPath string
+	// Graph is the module-wide call graph over every package of this
+	// Run, shared across passes. Interprocedural analyzers query it for
+	// reachability; intraprocedural ones can ignore it.
+	Graph *CallGraph
 
 	diags []Diagnostic
 }
@@ -60,30 +73,73 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
+		Package:  p.ImportPath,
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
 // Run applies each analyzer to each package and returns all
-// diagnostics sorted by file position.
+// diagnostics sorted by file position. Passes run concurrently up to
+// GOMAXPROCS; analyzers must confine mutable state to the pass.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
+	return RunParallel(pkgs, analyzers, runtime.GOMAXPROCS(0))
+}
+
+// RunParallel is Run with an explicit (package, analyzer) pass
+// concurrency. Loading and type-checking stay serial in Load; the
+// passes themselves only read the shared FileSet, type info and call
+// graph, so they parallelize freely. Output is deterministic: results
+// are merged in a fixed order and fully sorted.
+func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Diagnostic, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	graph := BuildCallGraph(pkgs)
+
+	type job struct {
+		pkg *Package
+		a   *Analyzer
+	}
+	var jobs []job
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:   a,
-				Fset:       pkg.Fset,
-				Files:      pkg.Files,
-				Pkg:        pkg.Types,
-				Info:       pkg.Info,
-				ImportPath: pkg.ImportPath,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
-			}
-			diags = append(diags, pass.diags...)
+			jobs = append(jobs, job{pkg, a})
 		}
+	}
+	results := make([][]Diagnostic, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pass := &Pass{
+				Analyzer:   j.a,
+				Fset:       j.pkg.Fset,
+				Files:      j.pkg.Files,
+				Pkg:        j.pkg.Types,
+				Info:       j.pkg.Info,
+				ImportPath: j.pkg.ImportPath,
+				Graph:      graph,
+			}
+			if err := j.a.Run(pass); err != nil {
+				errs[i] = fmt.Errorf("%s: %s: %w", j.a.Name, j.pkg.ImportPath, err)
+				return
+			}
+			results[i] = pass.diags
+		}(i, j)
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for i := range jobs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		diags = append(diags, results[i]...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -96,7 +152,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
 	return diags, nil
 }

@@ -32,54 +32,76 @@ type expectation struct {
 // diagnostics and `// want` expectations as test failures.
 func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
 	t.Helper()
-	pkg, err := analysis.LoadDir(dir, importPath)
+	RunDirs(t, a, Dir{Path: dir, ImportPath: importPath})
+}
+
+// Dir pairs one fixture directory with the import path it impersonates.
+type Dir struct {
+	Path       string
+	ImportPath string
+}
+
+// RunDirs loads several fixture packages into one analysis — the call
+// graph only has bodies for source-loaded packages, so interprocedural
+// fixtures need every involved package in the same load — applies the
+// analyzer to all of them, and checks the produced diagnostics against
+// the `// want` expectations of every fixture file.
+func RunDirs(t *testing.T, a *analysis.Analyzer, dirs ...Dir) {
+	t.Helper()
+	specs := make([]analysis.DirSpec, len(dirs))
+	for i, d := range dirs {
+		specs[i] = analysis.DirSpec{Dir: d.Path, ImportPath: d.ImportPath}
+	}
+	pkgs, err := analysis.LoadDirs(specs...)
 	if err != nil {
-		t.Fatalf("loading fixture %s: %v", dir, err)
+		t.Fatalf("loading fixtures %v: %v", dirs, err)
 	}
 
 	wants := make(map[string]map[int]*expectation) // file -> line -> expectation
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := c.Text
-				i := indexWant(text)
-				if i < 0 {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				exp := &expectation{}
-				for _, m := range wantRe.FindAllString(text[i:], -1) {
-					var pat string
-					if m[0] == '`' {
-						pat = m[1 : len(m)-1]
-					} else {
-						unq, err := strconv.Unquote(m)
-						if err != nil {
-							t.Fatalf("%s: bad want pattern %s: %v", pos, m, err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					i := indexWant(text)
+					if i < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					exp := &expectation{}
+					for _, m := range wantRe.FindAllString(text[i:], -1) {
+						var pat string
+						if m[0] == '`' {
+							pat = m[1 : len(m)-1]
+						} else {
+							unq, err := strconv.Unquote(m)
+							if err != nil {
+								t.Fatalf("%s: bad want pattern %s: %v", pos, m, err)
+							}
+							pat = unq
 						}
-						pat = unq
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						exp.patterns = append(exp.patterns, re)
 					}
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					if len(exp.patterns) == 0 {
+						t.Fatalf("%s: want comment with no patterns", pos)
 					}
-					exp.patterns = append(exp.patterns, re)
+					if wants[pos.Filename] == nil {
+						wants[pos.Filename] = make(map[int]*expectation)
+					}
+					wants[pos.Filename][pos.Line] = exp
+					exp.matched = make([]bool, len(exp.patterns))
 				}
-				if len(exp.patterns) == 0 {
-					t.Fatalf("%s: want comment with no patterns", pos)
-				}
-				if wants[pos.Filename] == nil {
-					wants[pos.Filename] = make(map[int]*expectation)
-				}
-				wants[pos.Filename][pos.Line] = exp
-				exp.matched = make([]bool, len(exp.patterns))
 			}
 		}
 	}
 
-	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		t.Fatalf("running %s on %v: %v", a.Name, dirs, err)
 	}
 
 	for _, d := range diags {

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+func loadCallgraphFixture(t *testing.T) (*Package, *CallGraph) {
+	t.Helper()
+	pkg, err := LoadDir("testdata/callgraph", "fix/callgraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, BuildCallGraph([]*Package{pkg})
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	_, g := loadCallgraphFixture(t)
+
+	wrap := g.Lookup("fix/callgraph.wrap")
+	leaf := g.Lookup("fix/callgraph.leaf")
+	if wrap == nil || leaf == nil {
+		t.Fatal("fixture functions not found by FullName")
+	}
+	found := false
+	for _, e := range g.Edges(wrap) {
+		if e.Callee == leaf {
+			found = true
+			if e.InLit {
+				t.Error("wrap→leaf edge wrongly marked InLit")
+			}
+		}
+	}
+	if !found {
+		t.Error("missing direct edge wrap→leaf")
+	}
+
+	// Calls inside a function literal are attributed to the enclosing
+	// declaration with the InLit mark.
+	viaLit := g.Lookup("fix/callgraph.viaLit")
+	foundLit := false
+	for _, e := range g.Edges(viaLit) {
+		if e.Callee == wrap {
+			foundLit = true
+			if !e.InLit {
+				t.Error("viaLit→wrap edge should be marked InLit")
+			}
+		}
+	}
+	if !foundLit {
+		t.Error("missing closure edge viaLit→wrap")
+	}
+
+	// A method value taken without a call is still an edge.
+	viaValue := g.Lookup("fix/callgraph.viaValue")
+	bump := g.Lookup("(*fix/callgraph.ticker).bump")
+	if bump == nil {
+		t.Fatal("method bump not found by FullName")
+	}
+	foundVal := false
+	for _, e := range g.Edges(viaValue) {
+		if e.Callee == bump {
+			foundVal = true
+		}
+	}
+	if !foundVal {
+		t.Error("missing method-value edge viaValue→bump")
+	}
+}
+
+func TestCallGraphReachers(t *testing.T) {
+	_, g := loadCallgraphFixture(t)
+
+	isTimeNow := func(fn *types.Func) bool {
+		return fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now"
+	}
+	reach := g.Reachers(isTimeNow)
+
+	for _, name := range []string{
+		"fix/callgraph.leaf",   // direct caller
+		"fix/callgraph.wrap",   // one-hop wrapper
+		"fix/callgraph.viaLit", // through a closure
+	} {
+		if !reach[g.Lookup(name)] {
+			t.Errorf("%s should reach time.Now", name)
+		}
+	}
+	for _, name := range []string{"fix/callgraph.pure", "fix/callgraph.viaValue"} {
+		if reach[g.Lookup(name)] {
+			t.Errorf("%s should not reach time.Now", name)
+		}
+	}
+}
+
+func TestCallGraphReachableFrom(t *testing.T) {
+	_, g := loadCallgraphFixture(t)
+
+	viaLit := g.Lookup("fix/callgraph.viaLit")
+	reach := g.ReachableFrom(viaLit)
+	if !reach[g.Lookup("fix/callgraph.wrap")] || !reach[g.Lookup("fix/callgraph.leaf")] {
+		t.Error("forward closure from viaLit should include wrap and leaf")
+	}
+	if reach[g.Lookup("fix/callgraph.pure")] {
+		t.Error("forward closure from viaLit must not include pure")
+	}
+}

@@ -1,0 +1,69 @@
+// Package detorder enforces the simulator's determinism contract at
+// the ordering level: the golden-figure tests demand that two runs
+// with the same seed produce byte-identical output, and the three Go
+// constructs whose order the runtime deliberately randomizes — map
+// iteration, goroutine scheduling, and multi-case select — silently
+// break that promise the moment their order reaches any computation or
+// output. Inside the deterministic packages all three are flagged
+// unconditionally:
+//
+//   - ranging over a map: iteration order varies run to run by design;
+//     a range whose results are sorted before use is legitimate and
+//     carries an allowlist entry (uts.PresetNames is the one instance);
+//   - the go statement: the simulator is single-threaded by contract —
+//     concurrency lives in simulated time, not host threads;
+//   - select over two or more communication cases: the runtime picks a
+//     ready case pseudo-randomly. A single case (with or without
+//     default) is deterministic and stays legal.
+package detorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"distws/internal/analysis"
+)
+
+// New returns the analyzer. packages lists the deterministic packages
+// the contract covers.
+func New(packages []string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "detorder",
+		Doc:  "flags map ranges, go statements and multi-case selects in deterministic packages",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !analysis.PathMatches(pass.ImportPath, packages) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					if tv, ok := pass.Info.Types[n.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							pass.Reportf(n.Pos(),
+								"ranges over a map in a deterministic package: iteration order varies run to run; iterate a sorted slice instead (or sort the results before any order-sensitive use)")
+						}
+					}
+				case *ast.GoStmt:
+					pass.Reportf(n.Pos(),
+						"spawns a goroutine in a deterministic package: the simulator is single-threaded by contract, concurrency lives in simulated time")
+				case *ast.SelectStmt:
+					cases := 0
+					for _, cl := range n.Body.List {
+						if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+							cases++
+						}
+					}
+					if cases >= 2 {
+						pass.Reportf(n.Pos(),
+							"multi-case select in a deterministic package: the runtime picks a ready case pseudo-randomly; serialize the channels or poll in a fixed order")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,20 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"distws/internal/analysis/analysistest"
+	"distws/internal/analysis/detorder"
+)
+
+func TestDetorderFixture(t *testing.T) {
+	analysistest.Run(t, detorder.New([]string{"fix/detorder"}),
+		"testdata/basic", "fix/detorder")
+}
+
+// TestDetorderSeededViolation proves the analyzer fires on a broken
+// copy of uts.PresetNames with the sort removed.
+func TestDetorderSeededViolation(t *testing.T) {
+	analysistest.Run(t, detorder.New([]string{"fix/detorderseeded"}),
+		"testdata/seeded", "fix/detorderseeded")
+}

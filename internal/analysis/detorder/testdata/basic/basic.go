@@ -1,0 +1,44 @@
+// Package fixture exercises the detorder analyzer: randomized-order
+// constructs in a deterministic package.
+package fixture
+
+func mapWalk(m map[int]string) int {
+	total := 0
+	for k := range m { // want `ranges over a map in a deterministic package`
+		total += k
+	}
+	return total
+}
+
+// sliceWalk iterates a slice: order is positional, clean.
+func sliceWalk(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func spawn(fn func()) {
+	go fn() // want `spawns a goroutine in a deterministic package`
+}
+
+func race(a, b chan int) int {
+	select { // want `multi-case select in a deterministic package`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// poll uses a single case with a default: the choice is deterministic,
+// clean.
+func poll(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,17 @@
+// Package seeded is a deliberately broken copy of uts.PresetNames with
+// the sort dropped: the map walk's order now reaches the caller
+// directly, which is exactly the defect class detorder exists to
+// catch (the production function sorts, and carries the analyzer's one
+// allowlist entry for it).
+package seeded
+
+var presets = map[string]int{"t1": 1, "t1l": 2, "t3": 3}
+
+// PresetNames mirrors uts.PresetNames without sort.Strings.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets { // want `ranges over a map in a deterministic package`
+		names = append(names, n)
+	}
+	return names
+}

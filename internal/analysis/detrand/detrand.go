@@ -11,7 +11,11 @@
 //     packages (internal/rng is the only intended home for raw
 //     generator machinery);
 //   - any generator constructor — rng.New*, rand.New* — whose seed
-//     argument derives from time.Now, in every package.
+//     argument derives from time.Now, in every package. The derivation
+//     is interprocedural: a seed computed by calling a helper that
+//     transitively reaches time.Now through the module call graph is
+//     reported at the constructor, so hiding the clock read one or two
+//     functions away does not launder it.
 package detrand
 
 import (
@@ -43,6 +47,12 @@ func New(exempt []string) *analysis.Analyzer {
 				}
 			}
 		}
+		// Functions that transitively reach time.Now: a seed built by
+		// calling one of these is wall-clock-derived even though no
+		// time.Now appears lexically in the argument.
+		reachesNow := pass.Graph.Reachers(func(fn *types.Func) bool {
+			return fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now"
+		})
 		// Nested constructors (rand.New(rand.NewSource(...))) would
 		// report the same time.Now twice; dedupe by position.
 		reported := make(map[token.Pos]bool)
@@ -56,7 +66,7 @@ func New(exempt []string) *analysis.Analyzer {
 					return true
 				}
 				for _, arg := range call.Args {
-					if pos, ok := usesWallClock(pass, arg); ok && !reported[pos] {
+					if pos, ok := usesWallClock(pass, reachesNow, arg); ok && !reported[pos] {
 						reported[pos] = true
 						pass.Reportf(pos,
 							"time-seeded RNG: seed derives from time.Now, so runs are not reproducible; derive seeds from configuration")
@@ -104,16 +114,24 @@ func isRNGConstructor(pass *analysis.Pass, call *ast.CallExpr) bool {
 }
 
 // usesWallClock reports whether the expression tree references
-// time.Now (directly or through a conversion chain such as
-// uint64(time.Now().UnixNano())).
-func usesWallClock(pass *analysis.Pass, e ast.Expr) (pos token.Pos, found bool) {
+// time.Now — directly, through a conversion chain such as
+// uint64(time.Now().UnixNano()), or by calling a function that
+// transitively reaches time.Now (reachesNow, from the call graph).
+func usesWallClock(pass *analysis.Pass, reachesNow map[*types.Func]bool, e ast.Expr) (pos token.Pos, found bool) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
 		if !ok {
 			return true
 		}
 		obj := pass.Info.Uses[id]
-		if obj != nil && objPkgPath(obj) == "time" && obj.Name() == "Now" {
+		if obj == nil {
+			return true
+		}
+		if objPkgPath(obj) == "time" && obj.Name() == "Now" {
+			pos, found = id.Pos(), true
+			return false
+		}
+		if fn, ok := obj.(*types.Func); ok && reachesNow[fn] {
 			pos, found = id.Pos(), true
 			return false
 		}

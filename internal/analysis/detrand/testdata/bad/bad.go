@@ -37,3 +37,25 @@ func fine() uint64 {
 	g := rng.New(7)
 	return g.Uint64()
 }
+
+// wallSeed hides the clock read behind a helper; the call graph still
+// sees it.
+func wallSeed() uint64 { return uint64(time.Now().UnixNano()) }
+
+// wrapSeed adds a second hop.
+func wrapSeed() uint64 { return wallSeed() + 1 }
+
+func timeSeededViaHelper() *rng.Xoshiro256 {
+	return rng.New(wallSeed()) // want `time-seeded`
+}
+
+func timeSeededViaTwoHops() *rng.Xoshiro256 {
+	return rng.New(wrapSeed()) // want `time-seeded`
+}
+
+// fineHelper never touches the clock, so seeding through it is clean.
+func fineHelper() uint64 { return 9 }
+
+func fineViaHelper() *rng.Xoshiro256 {
+	return rng.New(fineHelper())
+}

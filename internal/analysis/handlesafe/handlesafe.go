@@ -1,0 +1,298 @@
+// Package handlesafe enforces the arena event-handle discipline of
+// internal/sim: an Event is a generation-stamped ticket, valid from the
+// scheduling call until the event dispatches or is cancelled. Because
+// every operation on a stale handle is a deliberate no-op (the arena
+// recycles slots), misuse is silent — a handle parked in a global or a
+// long-lived struct field, or read after it was passed to Cancel, keeps
+// "working" while quietly referring to nothing (or, worse, to a
+// recycled slot of the same generation parity). Before the kernel is
+// sharded those latent bugs must be visible, so the analyzer makes the
+// two risky shapes diagnostics:
+//
+//   - a package-level variable, struct field or named type whose type
+//     contains sim.Event: handles must not outlive the scope that
+//     scheduled them unless the owner re-arms or zeroes them in lockstep
+//     (the engine's per-rank quantum field does, and carries the one
+//     allowlist entry);
+//   - a lexical use of a handle expression after it was passed to
+//     Kernel.Cancel, before any reassignment: the cancelled ticket is
+//     dead, and reading or re-cancelling it is almost always a stale
+//     copy/paste of the live-handle pattern.
+//
+// The defining package (internal/sim) is exempt — it is the arena.
+package handlesafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"distws/internal/analysis"
+)
+
+// New returns the analyzer. ownerPath is the import path of the package
+// defining the Event handle type (internal/sim in production; fixtures
+// impersonate it).
+func New(ownerPath string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "handlesafe",
+		Doc:  "flags sim.Event handles stored in globals/struct fields or used after Cancel",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if analysis.PathMatches(pass.ImportPath, []string{ownerPath}) {
+			return nil // the arena itself manages raw handles
+		}
+		c := &checker{pass: pass, ownerPath: ownerPath}
+		for _, f := range pass.Files {
+			c.checkStores(f)
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						c.checkUseAfterCancel(n.Body)
+					}
+					return false
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	ownerPath string
+}
+
+// isEvent reports whether t is the owner package's Event type.
+func (c *checker) isEvent(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == c.ownerPath && obj.Name() == "Event"
+}
+
+// containsEvent reports whether t structurally contains the Event type.
+// Expansion stops at named types other than Event itself: a named type
+// embedding a handle is flagged at its own declaration, so uses of it
+// do not cascade into one diagnostic per mention.
+func (c *checker) containsEvent(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		return c.isEvent(t)
+	case *types.Pointer:
+		return c.containsEvent(t.Elem(), seen)
+	case *types.Slice:
+		return c.containsEvent(t.Elem(), seen)
+	case *types.Array:
+		return c.containsEvent(t.Elem(), seen)
+	case *types.Map:
+		return c.containsEvent(t.Key(), seen) || c.containsEvent(t.Elem(), seen)
+	case *types.Chan:
+		return c.containsEvent(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if c.containsEvent(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkStores flags package-level variables and struct fields whose
+// type holds an Event handle.
+func (c *checker) checkStores(f *ast.File) {
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			switch spec := spec.(type) {
+			case *ast.ValueSpec:
+				if gd.Tok != token.VAR {
+					continue
+				}
+				for _, name := range spec.Names {
+					obj, ok := c.pass.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if c.containsEvent(obj.Type(), map[types.Type]bool{}) {
+						c.pass.Reportf(name.Pos(),
+							"package-level var %s stores a sim.Event handle: handles go stale silently once the event dispatches or its slot is recycled; keep them in the scheduling scope",
+							name.Name)
+					}
+				}
+			case *ast.TypeSpec:
+				c.checkTypeSpec(spec)
+			}
+		}
+	}
+}
+
+func (c *checker) checkTypeSpec(spec *ast.TypeSpec) {
+	obj, ok := c.pass.Info.Defs[spec.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		// Non-struct named type (slice, map, array of handles).
+		if c.containsEvent(obj.Type().Underlying(), map[types.Type]bool{}) {
+			c.pass.Reportf(spec.Pos(),
+				"type %s stores sim.Event handles in a long-lived container: handles go stale silently; track liveness with Kernel.Live or re-arm in lockstep",
+				spec.Name.Name)
+		}
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if c.containsEvent(field.Type(), map[types.Type]bool{}) {
+			c.pass.Reportf(fieldPos(spec, field, st), // best-effort position
+				"struct field %s.%s stores a sim.Event handle: a stale handle is a silent no-op; owners must cancel and re-zero it in lockstep or the field lies about liveness",
+				spec.Name.Name, field.Name())
+		}
+	}
+}
+
+// fieldPos locates the AST position of a struct field by name, falling
+// back to the type spec.
+func fieldPos(spec *ast.TypeSpec, field *types.Var, _ *types.Struct) token.Pos {
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return spec.Pos()
+	}
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == field.Name() {
+				return n.Pos()
+			}
+		}
+	}
+	return spec.Pos()
+}
+
+// --- use-after-Cancel -------------------------------------------------
+
+// handleEvent is one lexical occurrence of a handle expression.
+type handleEvent struct {
+	pos  token.Pos
+	kind int // 0 use, 1 cancel, 2 kill (reassignment)
+	key  string
+}
+
+const (
+	evUse = iota
+	evCancel
+	evKill
+)
+
+// checkUseAfterCancel scans one function scope lexically: after a
+// handle expression is passed to Kernel.Cancel, any further read of the
+// same expression (including a second Cancel) is flagged until an
+// assignment re-arms it. Function literals are independent scopes —
+// cross-closure flow is out of lexical reach and stays unflagged.
+func (c *checker) checkUseAfterCancel(body *ast.BlockStmt) {
+	var events []handleEvent
+	// Expressions already accounted for structurally (Cancel arguments,
+	// assignment targets) are excluded from the generic read walk.
+	skip := map[ast.Expr]bool{}
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.checkUseAfterCancel(n.Body)
+			return false
+		case *ast.CallExpr:
+			if c.isCancelCall(n) && len(n.Args) == 1 {
+				if key, ok := c.handleKey(n.Args[0]); ok {
+					// The cancel takes effect after its argument is read:
+					// anchor it at the argument's end.
+					events = append(events, handleEvent{n.Args[0].End(), evCancel, key})
+					skip[n.Args[0]] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if key, ok := c.handleKey(lhs); ok {
+					events = append(events, handleEvent{lhs.Pos(), evKill, key})
+					skip[lhs] = true
+				}
+			}
+			// RHS reads are collected by the expression walk below.
+		}
+		if e, ok := n.(ast.Expr); ok && !skip[e] {
+			if key, ok2 := c.handleKey(e); ok2 {
+				events = append(events, handleEvent{e.Pos(), evUse, key})
+				return false // don't also record sub-expressions
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	cancelled := map[string]token.Pos{}
+	for _, e := range events {
+		switch e.kind {
+		case evCancel:
+			if _, dead := cancelled[e.key]; dead {
+				c.pass.Reportf(e.pos,
+					"sim.Event handle %s cancelled twice without reassignment: the second Cancel is a silent no-op on a dead ticket", e.key)
+				continue
+			}
+			cancelled[e.key] = e.pos
+		case evKill:
+			delete(cancelled, e.key)
+		case evUse:
+			if _, dead := cancelled[e.key]; dead {
+				c.pass.Reportf(e.pos,
+					"sim.Event handle %s used after Cancel: the handle is stale and every operation on it is a silent no-op; reassign or zero it first", e.key)
+				delete(cancelled, e.key) // one report per cancel
+			}
+		}
+	}
+}
+
+// isCancelCall reports whether call invokes the owner kernel's Cancel.
+func (c *checker) isCancelCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := c.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Cancel" {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == c.ownerPath
+}
+
+// handleKey renders an ident/selector expression of type Event to a
+// stable string key, mirroring lockcheck's receiver keys. Composite
+// expressions (calls, literals) are not tracked.
+func (c *checker) handleKey(e ast.Expr) (string, bool) {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return "", false
+	}
+	tv, ok := c.pass.Info.Types[e]
+	if !ok || !c.isEvent(tv.Type) {
+		return "", false
+	}
+	return types.ExprString(e), true
+}

@@ -1,0 +1,20 @@
+package handlesafe_test
+
+import (
+	"testing"
+
+	"distws/internal/analysis/analysistest"
+	"distws/internal/analysis/handlesafe"
+)
+
+const simPath = "distws/internal/sim"
+
+func TestHandlesafeFixture(t *testing.T) {
+	analysistest.Run(t, handlesafe.New(simPath), "testdata/basic", "fix/handlesafe")
+}
+
+// TestHandlesafeSeededViolation proves the analyzer fires on a broken
+// copy of the real per-rank quantum-handle code from internal/core.
+func TestHandlesafeSeededViolation(t *testing.T) {
+	analysistest.Run(t, handlesafe.New(simPath), "testdata/seeded", "fix/handlesafeseeded")
+}

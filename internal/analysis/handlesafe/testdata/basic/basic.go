@@ -1,0 +1,54 @@
+// Package fixture exercises the handlesafe analyzer: long-lived handle
+// stores and lexical use-after-Cancel.
+package fixture
+
+import "distws/internal/sim"
+
+var globalHandle sim.Event // want `package-level var globalHandle stores a sim.Event handle`
+
+var pending []sim.Event // want `package-level var pending stores a sim.Event handle`
+
+type holder struct {
+	quantum sim.Event // want `struct field holder.quantum stores a sim.Event handle`
+	n       int
+}
+
+type handleSet map[int]sim.Event // want `type handleSet stores sim.Event handles`
+
+// kernelRef holds only the kernel, not handles: clean.
+type kernelRef struct{ k *sim.Kernel }
+
+func useAfterCancel(k *sim.Kernel) bool {
+	e := k.After(5, noop)
+	k.Cancel(e)
+	return k.Live(e) // want `sim.Event handle e used after Cancel`
+}
+
+func doubleCancel(k *sim.Kernel) {
+	e := k.After(5, noop)
+	k.Cancel(e)
+	k.Cancel(e) // want `sim.Event handle e cancelled twice`
+}
+
+// rearmed reassigns after Cancel, the engine's quantum idiom: clean.
+func rearmed(k *sim.Kernel) bool {
+	e := k.After(5, noop)
+	k.Cancel(e)
+	e = k.After(7, noop)
+	return k.Live(e)
+}
+
+// stop cancels and re-zeroes a stored handle in lockstep: clean.
+func (h *holder) stop(k *sim.Kernel) {
+	k.Cancel(h.quantum)
+	h.quantum = sim.Event{}
+	_ = h.quantum
+}
+
+// localOnly never cancels: clean.
+func localOnly(k *sim.Kernel) (sim.Time, bool) {
+	e := k.After(3, noop)
+	return k.When(e)
+}
+
+func noop() {}

@@ -1,0 +1,38 @@
+// Package seeded is a deliberately broken copy of the engine's
+// quantum-handle discipline (internal/core crashRank/finishRank): the
+// production code cancels rk.quantum and immediately re-zeroes it, and
+// this copy drops the re-arm, so the later liveness read consults a
+// dead ticket. The analyzer must fire on both the long-lived field and
+// the stale read.
+package seeded
+
+import "distws/internal/sim"
+
+type rank struct {
+	state   int
+	quantum sim.Event // want `struct field rank.quantum stores a sim.Event handle`
+}
+
+type engine struct {
+	kernel *sim.Kernel
+	ranks  []rank
+}
+
+// crashRank mirrors core's crashRank with the `rk.quantum = sim.Event{}`
+// re-arm removed.
+func (e *engine) crashRank(r int) {
+	rk := &e.ranks[r]
+	e.kernel.Cancel(rk.quantum)
+	rk.state = 4
+	if e.kernel.Live(rk.quantum) { // want `sim.Event handle rk.quantum used after Cancel`
+		rk.state = 0
+	}
+}
+
+// finishRank keeps the production lockstep re-zero: clean.
+func (e *engine) finishRank(r int) {
+	rk := &e.ranks[r]
+	e.kernel.Cancel(rk.quantum)
+	rk.quantum = sim.Event{}
+	rk.state = 3
+}

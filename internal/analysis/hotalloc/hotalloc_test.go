@@ -1,0 +1,22 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"distws/internal/analysis/analysistest"
+	"distws/internal/analysis/hotalloc"
+)
+
+func TestHotallocFixture(t *testing.T) {
+	analysistest.Run(t,
+		hotalloc.New([]string{"(*fix/hotalloc.kernel).step"}, []string{"fix/hotalloc"}),
+		"testdata/basic", "fix/hotalloc")
+}
+
+// TestHotallocSeededViolation proves the analyzer fires on a broken
+// copy of the real topology latency hot path.
+func TestHotallocSeededViolation(t *testing.T) {
+	analysistest.Run(t,
+		hotalloc.New([]string{"(*fix/hotallocseeded.latency).Latency"}, []string{"fix/hotallocseeded"}),
+		"testdata/seeded", "fix/hotallocseeded")
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the hotalloc analyzer: the four allocation
+// shapes in functions reachable from the configured hot root, and the
+// exemptions (panic arguments, String methods, unreachable functions).
+package fixture
+
+import "fmt"
+
+type kernel struct {
+	n     int
+	names map[int]string
+}
+
+// step is the configured hot root.
+func (k *kernel) step() {
+	k.hot()
+	_ = k.String()
+}
+
+// hot is reachable from the root: every allocation shape fires.
+func (k *kernel) hot() {
+	msg := fmt.Sprintf("n=%d", k.n) // want `hot path calls fmt.Sprintf`
+	_ = msg
+	for id := range k.names { // want `hot path ranges over a map`
+		_ = id
+	}
+	n := k.n
+	f := func() int { return n } // want `hot path constructs a capturing closure`
+	_ = f()
+	g := func() int { return 42 } // non-capturing: static, clean
+	_ = g()
+	box(k.n)  // want `hot path boxes int into an interface argument`
+	box(&k.n) // pointer-shaped: clean
+	if k.n < 0 {
+		panic(fmt.Sprintf("bad n %d", k.n)) // panic path: exempt
+	}
+}
+
+// box accepts an interface; passing it a non-pointer value allocates.
+func box(v any) { _ = v }
+
+// String is reachable but exempt: diagnostic rendering is cold.
+func (k *kernel) String() string { return fmt.Sprintf("kernel(%d)", k.n) }
+
+// cold is not reachable from the root: its fmt call is not reported.
+func (k *kernel) cold() string { return fmt.Sprint(k.n) }

@@ -1,0 +1,31 @@
+// Package seeded is a deliberately broken copy of the topology latency
+// hot path (internal/topology cachedLatency.Latency): the dense
+// distance cache was swapped for a map walk, a debug trace string was
+// added, and the jitter adjustment was wrapped in a capturing closure.
+// All three allocate per Latency call — the exact per-event cost the
+// 0-alloc gate exists to keep out — and the analyzer must flag each.
+package seeded
+
+import "fmt"
+
+type latency struct {
+	base  int64
+	cache map[int]int64
+	trace []string
+}
+
+// Latency is the configured hot root: it runs once per modeled message.
+func (l *latency) Latency(from, to int) int64 {
+	key := from<<16 | to
+	for k, v := range l.cache { // want `hot path ranges over a map`
+		if k == key {
+			return v
+		}
+	}
+	l.trace = append(l.trace, fmt.Sprintf("miss %d->%d", from, to)) // want `hot path calls fmt.Sprintf`
+	d := l.base
+	adjust := func() int64 { return d + int64(from-to) } // want `hot path constructs a capturing closure`
+	v := adjust()
+	l.cache[key] = v
+	return v
+}

@@ -160,66 +160,113 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // path, letting fixture packages under testdata/ impersonate real
 // module paths for allowlist-sensitive analyzers.
 func LoadDir(dir, importPath string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
+	pkgs, err := LoadDirs(DirSpec{Dir: dir, ImportPath: importPath})
 	if err != nil {
 		return nil, err
 	}
+	return pkgs[0], nil
+}
+
+// DirSpec names one fixture directory and the import path it
+// impersonates.
+type DirSpec struct {
+	Dir        string
+	ImportPath string
+}
+
+// chainImporter resolves fixture packages loaded earlier in a LoadDirs
+// sequence before falling back to compiler export data, so fixture
+// packages can import one another under impersonated paths.
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+// LoadDirs loads several fixture packages in order, each visible to
+// later ones under its impersonated import path. Multi-package fixtures
+// exist to exercise interprocedural analyses: the call graph only has
+// bodies for source-loaded packages, so cross-package reachability
+// needs every involved fixture in the same load. Module and stdlib
+// imports resolve through `go list -export` as in LoadDir.
+func LoadDirs(specs ...DirSpec) ([]*Package, error) {
 	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || filepath.Ext(name) != ".go" {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+	local := make(map[string]*types.Package)
+	exports := make(map[string]string)
+	fallback := exportImporter(fset, exports)
+	var out []*Package
+	for _, spec := range specs {
+		entries, err := os.ReadDir(spec.Dir)
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("no Go files in %s", dir)
-	}
+		var files []*ast.File
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || filepath.Ext(name) != ".go" {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(spec.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no Go files in %s", spec.Dir)
+		}
 
-	seen := make(map[string]bool)
-	var imports []string
-	for _, f := range files {
-		for _, spec := range f.Imports {
-			path := spec.Path.Value
-			path = path[1 : len(path)-1] // unquote
-			if path != "unsafe" && !seen[path] {
+		seen := make(map[string]bool)
+		var imports []string
+		for _, f := range files {
+			for _, ispec := range f.Imports {
+				path := ispec.Path.Value
+				path = path[1 : len(path)-1] // unquote
+				if path == "unsafe" || seen[path] {
+					continue
+				}
+				if _, isLocal := local[path]; isLocal {
+					continue
+				}
 				seen[path] = true
 				imports = append(imports, path)
 			}
 		}
-	}
-	sort.Strings(imports)
+		sort.Strings(imports)
 
-	exports := make(map[string]string)
-	if len(imports) > 0 {
-		listed, err := goList(dir, imports)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range listed {
-			if p.Export != "" {
-				exports[p.ImportPath] = p.Export
+		if len(imports) > 0 {
+			listed, err := goList(spec.Dir, imports)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range listed {
+				if p.Export != "" {
+					exports[p.ImportPath] = p.Export
+				}
 			}
 		}
-	}
 
-	info := newInfo()
-	conf := types.Config{Importer: exportImporter(fset, exports)}
-	tpkg, err := conf.Check(importPath, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("type-checking %s: %v", dir, err)
+		info := newInfo()
+		conf := types.Config{Importer: chainImporter{local: local, fallback: fallback}}
+		tpkg, err := conf.Check(spec.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", spec.Dir, err)
+		}
+		local[spec.ImportPath] = tpkg
+		out = append(out, &Package{
+			ImportPath: spec.ImportPath,
+			Dir:        spec.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
 	}
-	return &Package{
-		ImportPath: importPath,
-		Dir:        dir,
-		Fset:       fset,
-		Files:      files,
-		Types:      tpkg,
-		Info:       info,
-	}, nil
+	return out, nil
 }

@@ -1,0 +1,29 @@
+// Package callgraph is a fixture exercising the reference-graph
+// construction: direct calls, method calls, closures, and method
+// values.
+package callgraph
+
+import "time"
+
+type ticker struct{ n int }
+
+func (t *ticker) bump() { t.n++ }
+
+// leaf reads the wall clock directly.
+func leaf() int64 { return time.Now().UnixNano() }
+
+// wrap is a one-hop wrapper around leaf.
+func wrap() int64 { return leaf() }
+
+// viaLit reaches leaf only through a function literal.
+func viaLit() func() int64 {
+	return func() int64 { return wrap() }
+}
+
+// viaValue takes a method value without calling it.
+func viaValue(t *ticker) func() {
+	return t.bump
+}
+
+// pure touches nothing.
+func pure(a, b int) int { return a + b }

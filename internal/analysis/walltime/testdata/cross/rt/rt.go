@@ -1,0 +1,13 @@
+// Package rt impersonates the real shared-memory runtime: it sits
+// outside the virtual-time set, so its own wall-clock reads are
+// legitimate — but virtual-time callers must not launder reads through
+// it.
+package rt
+
+import "time"
+
+// Elapsed reads the host clock: fine here, poison for virtual callers.
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }
+
+// Budget is clock-free: virtual callers may use it.
+func Budget(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,20 @@
+// Package virt is a virtual-time package that tries to launder a
+// wall-clock read through the runtime helper package: no time.Now
+// appears lexically here, so only the interprocedural check can see
+// the defect.
+package virt
+
+import (
+	"time"
+
+	"fix/rt"
+)
+
+func elapsed(start time.Time) time.Duration {
+	return rt.Elapsed(start) // want `call to Elapsed transitively reads the wall clock`
+}
+
+// budget calls a clock-free helper of the same package: clean.
+func budget() time.Duration {
+	return rt.Budget(3 * time.Millisecond)
+}

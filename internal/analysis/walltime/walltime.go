@@ -13,9 +13,16 @@
 // — are always allowed. The real shared-memory runtime (internal/rt)
 // and the command-line tools measure genuine elapsed time and are
 // allowlisted by the driver.
+//
+// Laundering through a helper is caught interprocedurally: a call from
+// a virtual-time package to any function that transitively reaches a
+// banned time function through the module call graph is flagged at the
+// call site — unless the callee is itself a checked virtual-time
+// function, whose own direct reference already carries the diagnostic.
 package walltime
 
 import (
+	"go/ast"
 	"go/types"
 
 	"distws/internal/analysis"
@@ -59,7 +66,49 @@ func New(virtual, allow []string) *analysis.Analyzer {
 					fn.Name(), pass.ImportPath)
 			}
 		}
+		// Interprocedural: calls that launder a wall-clock read through
+		// a helper outside the checked set.
+		reachers := pass.Graph.Reachers(func(fn *types.Func) bool {
+			return fn.Pkg() != nil && fn.Pkg().Path() == "time" && banned[fn.Name()]
+		})
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || !reachers[fn] {
+					return true
+				}
+				if p := fn.Pkg(); p != nil &&
+					analysis.PathMatches(p.Path(), virtual) && !analysis.PathMatches(p.Path(), allow) {
+					// The callee is itself checked: its own direct
+					// reference carries the diagnostic.
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"call to %s transitively reads the wall clock (time.Now and friends) in virtual-time package %s: simulated time must come from the event kernel",
+					fn.Name(), pass.ImportPath)
+				return true
+			})
+		}
 		return nil
 	}
 	return a
+}
+
+// calleeFunc resolves a call's static callee, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
 }

@@ -21,3 +21,14 @@ func TestUnlistedPackageIsIgnored(t *testing.T) {
 	a := walltime.New([]string{"distws/internal"}, []string{"distws/internal/rt"})
 	analysistest.Run(t, a, "testdata/real", "distws/cmd/experiments")
 }
+
+// TestInterproceduralLaundering proves a wall-clock read hidden behind
+// a helper in a non-virtual package is flagged at the virtual-time call
+// site through the call graph.
+func TestInterproceduralLaundering(t *testing.T) {
+	a := walltime.New([]string{"fix/virt"}, nil)
+	analysistest.RunDirs(t, a,
+		analysistest.Dir{Path: "testdata/cross/rt", ImportPath: "fix/rt"},
+		analysistest.Dir{Path: "testdata/cross/virt", ImportPath: "fix/virt"},
+	)
+}

@@ -303,7 +303,9 @@ func (s *scheduler) onDelivery(r int) {
 	}
 }
 
-// drain processes all delivered messages for rank r.
+// drain processes all delivered messages for rank r. Every polled
+// message is freed once handled — the ready tasks are copied out by
+// append, so nothing the message carries is retained.
 func (s *scheduler) drain(r int) {
 	rk := &s.ranks[r]
 	for _, m := range s.net.Poll(r) {
@@ -311,30 +313,29 @@ func (s *scheduler) drain(r int) {
 		case comm.TagStealRequest:
 			s.answerSteal(r, m.From)
 		case comm.TagWork:
-			if rk.state == rsDone {
-				continue
-			}
-			batch := m.Payload.(taskBatch)
-			rk.steals++
-			s.tasksStolen += uint64(len(batch.Tasks))
-			s.sel.Observe(r, m.From, true)
-			rk.ready = append(rk.ready, batch.Tasks...)
-			if rk.state == rsSearching {
-				rk.state = rsIdle
+			if rk.state != rsDone {
+				batch := m.Payload.(taskBatch)
+				rk.steals++
+				s.tasksStolen += uint64(len(batch.Tasks))
+				s.sel.Observe(r, m.From, true)
+				rk.ready = append(rk.ready, batch.Tasks...)
+				if rk.state == rsSearching {
+					rk.state = rsIdle
+				}
 			}
 		case comm.TagNoWork:
-			if rk.state == rsDone {
-				continue
-			}
-			rk.fails++
-			s.sel.Observe(r, m.From, false)
-			if rk.state == rsSearching {
-				rk.state = rsIdle
-				s.search(r)
+			if rk.state != rsDone {
+				rk.fails++
+				s.sel.Observe(r, m.From, false)
+				if rk.state == rsSearching {
+					rk.state = rsIdle
+					s.search(r)
+				}
 			}
 		case comm.TagTerminate:
 			rk.state = rsDone
 		}
+		s.net.Free(m)
 	}
 }
 

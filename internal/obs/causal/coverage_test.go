@@ -1,0 +1,98 @@
+package causal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"distws/internal/trace"
+)
+
+// packageSources concatenates this package's non-test Go sources,
+// excluding coverage.go itself (the table must not satisfy its own
+// reference check).
+func packageSources(t *testing.T) string {
+	t.Helper()
+	names, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") || name == "coverage.go" {
+			continue
+		}
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(data)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestEveryEventKindHasDisposition is the exhaustiveness gate for the
+// protocol vocabulary: adding a kind to internal/trace without deciding
+// what the causal reconstruction does about it fails here, and a
+// disposition that drifts from the code (a "consumed" kind no source
+// mentions, an "inert" kind the code quietly started reading) fails
+// too.
+func TestEveryEventKindHasDisposition(t *testing.T) {
+	src := packageSources(t)
+	for k := trace.EventKind(0); k < trace.NumEventKinds; k++ {
+		disp := kindDisposition[k]
+		if disp == "" {
+			t.Errorf("%v has no disposition: decide whether the causal reconstruction consumes or ignores it", k)
+			continue
+		}
+		ident := fmt.Sprintf("Ev%s", camel(k.String()))
+		referenced := strings.Contains(src, "trace."+ident)
+		switch {
+		case strings.HasPrefix(disp, "consumed:"):
+			if !referenced {
+				t.Errorf("%v is declared consumed but no source in this package references trace.%s", k, ident)
+			}
+		case strings.HasPrefix(disp, "inert:"):
+			if referenced {
+				t.Errorf("%v is declared inert but a source in this package references trace.%s; update its disposition", k, ident)
+			}
+		default:
+			t.Errorf("%v disposition %q must start with \"consumed:\" or \"inert:\"", k, disp)
+		}
+	}
+}
+
+// camel maps a kind's wire name back to its Go identifier suffix:
+// "steal-send" -> "StealSend", "nowork-recv" -> "NoWorkRecv".
+func camel(wire string) string {
+	var sb strings.Builder
+	for _, part := range strings.Split(wire, "-") {
+		if part == "nowork" {
+			sb.WriteString("NoWork")
+			continue
+		}
+		sb.WriteString(strings.ToUpper(part[:1]))
+		sb.WriteString(part[1:])
+	}
+	return sb.String()
+}
+
+// TestDispositionIdentifierMapping pins the wire-name-to-identifier
+// helper against the real constants, so a renamed kind cannot silently
+// defeat the reference check above.
+func TestDispositionIdentifierMapping(t *testing.T) {
+	cases := map[trace.EventKind]string{
+		trace.EvStealSend:  "EvStealSend",
+		trace.EvNoWorkRecv: "EvNoWorkRecv",
+		trace.EvQuantumEnd: "EvQuantumEnd",
+		trace.EvMsgDrop:    "EvMsgDrop",
+	}
+	for k, want := range cases {
+		if got := "Ev" + camel(k.String()); got != want {
+			t.Errorf("identifier for %v = %s, want %s", k, got, want)
+		}
+	}
+}

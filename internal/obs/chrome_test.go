@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"distws/internal/sim"
 	"distws/internal/trace"
 )
 
@@ -269,5 +270,57 @@ func TestHandler(t *testing.T) {
 	resp, _ = get("/debug/pprof/cmdline")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+}
+
+// TestChromeExporterCoversEveryEventKind feeds the exporter one event
+// of every kind the trace vocabulary defines and checks each one comes
+// out as a protocol instant under its wire name. The exporter renders
+// kinds generically (Kind.String()), so this is the drift gate: a kind
+// added to internal/trace whose String maps to "unknown", or a hole in
+// the name table, fails here rather than silently mislabeling traces.
+func TestChromeExporterCoversEveryEventKind(t *testing.T) {
+	tr := &trace.Trace{
+		End:         sim.Time(int64(trace.NumEventKinds) * 10),
+		Transitions: [][]trace.Transition{{{Time: 0, State: trace.Active}}},
+		Events:      make([][]trace.Event, 1),
+	}
+	for k := trace.EventKind(0); k < trace.NumEventKinds; k++ {
+		tr.Events[0] = append(tr.Events[0], trace.Event{
+			Time: sim.Time(int64(k) * 10), Kind: k, Peer: -1,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Cat   string `json:"cat"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	seen := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Cat == "protocol" && e.Phase == "i" {
+			seen[e.Name] = true
+		}
+	}
+	for k := trace.EventKind(0); k < trace.NumEventKinds; k++ {
+		name := k.String()
+		if name == "unknown" || name == "" {
+			t.Errorf("kind %d has no wire name; extend eventKindNames in internal/trace", k)
+			continue
+		}
+		if !seen[name] {
+			t.Errorf("kind %v never appeared as a protocol instant in the exported trace", k)
+		}
+	}
+	if len(seen) != int(trace.NumEventKinds) {
+		t.Errorf("exporter emitted %d distinct protocol names, want %d", len(seen), trace.NumEventKinds)
 	}
 }
