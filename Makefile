@@ -5,8 +5,13 @@
 
 GO ?= go
 ARTIFACTS ?= artifacts
+# Smoke-run output lands in its own subdirectory; the top level of
+# $(ARTIFACTS) holds only directories (smoke/, runs/, bench/) plus the
+# distwsvet report. artifacts/runs/baseline/ is the one committed
+# corner: the golden ledger the matrix gate compares against.
+SMOKE = $(ARTIFACTS)/smoke
 
-.PHONY: build test vet distwsvet race lint obs-smoke causal-smoke chaos-smoke bench-json bench-smoke check clean
+.PHONY: build test vet distwsvet race lint obs-smoke causal-smoke chaos-smoke bench-json bench-smoke matrix-smoke matrix-baseline check clean
 
 build:
 	$(GO) build ./...
@@ -45,25 +50,27 @@ lint:
 # uploads $(ARTIFACTS)/ so the Perfetto trace of each run is a click
 # away (load smoke.chrome.json at ui.perfetto.dev).
 obs-smoke:
-	@mkdir -p $(ARTIFACTS)
+	@mkdir -p $(SMOKE)
 	$(GO) run ./cmd/uts -tree H-TINY -ranks 32 -seed 3 \
-		-trace $(ARTIFACTS)/smoke.jsonl -chrome $(ARTIFACTS)/smoke.chrome.json
-	$(GO) run ./cmd/tracetool -in $(ARTIFACTS)/smoke.jsonl
-	$(GO) run ./cmd/tracetool -in $(ARTIFACTS)/smoke.jsonl -format json > $(ARTIFACTS)/smoke.report.json
-	$(GO) run ./cmd/obscheck $(ARTIFACTS)/smoke.jsonl $(ARTIFACTS)/smoke.chrome.json $(ARTIFACTS)/smoke.report.json
+		-trace $(SMOKE)/smoke.jsonl -chrome $(SMOKE)/smoke.chrome.json \
+		-manifest $(SMOKE)/smoke.manifest.json
+	$(GO) run ./cmd/tracetool -in $(SMOKE)/smoke.jsonl
+	$(GO) run ./cmd/tracetool -in $(SMOKE)/smoke.jsonl -format json > $(SMOKE)/smoke.report.json
+	$(GO) run ./cmd/obscheck $(SMOKE)/smoke.jsonl $(SMOKE)/smoke.chrome.json \
+		$(SMOKE)/smoke.report.json $(SMOKE)/smoke.manifest.json
 
 # causal-smoke runs the causal analyses (idle-time blame, critical
 # path, work lineage) over the obs-smoke trace and archives the blame
 # report next to the Perfetto trace. The non-empty check catches a
 # silently broken pipeline.
 causal-smoke: obs-smoke
-	$(GO) run ./cmd/tracetool -in $(ARTIFACTS)/smoke.jsonl \
-		-blame -critical -lineage > $(ARTIFACTS)/smoke.blame.txt
-	@grep -q "idle-time blame" $(ARTIFACTS)/smoke.blame.txt || \
+	$(GO) run ./cmd/tracetool -in $(SMOKE)/smoke.jsonl \
+		-blame -critical -lineage > $(SMOKE)/smoke.blame.txt
+	@grep -q "idle-time blame" $(SMOKE)/smoke.blame.txt || \
 		{ echo "causal-smoke: blame report missing from smoke.blame.txt"; exit 1; }
-	@grep -q "critical path" $(ARTIFACTS)/smoke.blame.txt || \
+	@grep -q "critical path" $(SMOKE)/smoke.blame.txt || \
 		{ echo "causal-smoke: critical path missing from smoke.blame.txt"; exit 1; }
-	@echo "causal-smoke: wrote $(ARTIFACTS)/smoke.blame.txt"
+	@echo "causal-smoke: wrote $(SMOKE)/smoke.blame.txt"
 
 # chaos-smoke drives the fault-injection subsystem end to end: a tiny
 # crash+straggler run through cmd/uts must terminate completely,
@@ -75,18 +82,19 @@ CHAOS_RUN = $(GO) run ./cmd/uts -tree T3 -ranks 16 -seed 7 \
 	-crash 3@40us,11@90us -straggler 5@3x2
 
 chaos-smoke:
-	@mkdir -p $(ARTIFACTS)
-	$(CHAOS_RUN) > $(ARTIFACTS)/chaos.txt
-	@$(CHAOS_RUN) | cmp -s - $(ARTIFACTS)/chaos.txt || \
+	@mkdir -p $(SMOKE)
+	@rm -f $(ARTIFACTS)/smoke.* $(ARTIFACTS)/chaos.*  # pre-PR-7 top-level strays
+	$(CHAOS_RUN) > $(SMOKE)/chaos.txt
+	@$(CHAOS_RUN) | cmp -s - $(SMOKE)/chaos.txt || \
 		{ echo "chaos-smoke: faulted run is not replay-identical"; exit 1; }
-	@grep -q "crashed ranks:   2" $(ARTIFACTS)/chaos.txt || \
-		{ echo "chaos-smoke: expected 2 crashed ranks"; cat $(ARTIFACTS)/chaos.txt; exit 1; }
-	@grep -q "recoveries:" $(ARTIFACTS)/chaos.txt || \
-		{ echo "chaos-smoke: no recovery episodes recorded"; cat $(ARTIFACTS)/chaos.txt; exit 1; }
-	@if grep -q "WARNING: premature" $(ARTIFACTS)/chaos.txt; then \
+	@grep -q "crashed ranks:   2" $(SMOKE)/chaos.txt || \
+		{ echo "chaos-smoke: expected 2 crashed ranks"; cat $(SMOKE)/chaos.txt; exit 1; }
+	@grep -q "recoveries:" $(SMOKE)/chaos.txt || \
+		{ echo "chaos-smoke: no recovery episodes recorded"; cat $(SMOKE)/chaos.txt; exit 1; }
+	@if grep -q "WARNING: premature" $(SMOKE)/chaos.txt; then \
 		echo "chaos-smoke: premature termination under faults"; exit 1; fi
-	$(GO) run ./cmd/experiments -run chaos -scale quick -o $(ARTIFACTS)/chaos.table.txt
-	@echo "chaos-smoke: wrote $(ARTIFACTS)/chaos.txt and chaos.table.txt"
+	$(GO) run ./cmd/experiments -run chaos -scale quick -o $(SMOKE)/chaos.table.txt
+	@echo "chaos-smoke: wrote $(SMOKE)/chaos.txt and chaos.table.txt"
 
 # Hot-path benchmarks of the simulation substrate (event kernel,
 # messaging, latency lookup, UTS hashing), exported as a JSON artifact
@@ -95,24 +103,51 @@ chaos-smoke:
 BENCHTIME ?= 1s
 BENCH_PKGS = ./internal/sim ./internal/comm ./internal/topology ./internal/uts ./internal/fault .
 BENCH_NAMES = BenchmarkKernelHotPath|BenchmarkCommSend|BenchmarkLatencyLookup|BenchmarkUTSChildGen|BenchmarkFaultInjection
+BENCH_REQUIRE = KernelHotPath,CommSend,LatencyLookup,UTSChildGen,FaultInjection/nil-plan,FaultInjection/crashes,FaultInjection/lossy
+BENCH_RUN = $(GO) test -run '^$$' -bench '$(BENCH_NAMES)' -benchmem \
+	-benchtime $(BENCHTIME) $(BENCH_PKGS)
 
+# bench-json regenerates the committed baseline at the repo root; run it
+# (at the default real BENCHTIME) and commit BENCH_sim.json when a
+# benchmark is added or its allocation profile deliberately changes.
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_NAMES)' -benchmem \
-		-benchtime $(BENCHTIME) $(BENCH_PKGS) | \
-		$(GO) run ./cmd/benchjson \
-		-require KernelHotPath,CommSend,LatencyLookup,UTSChildGen,FaultInjection/nil-plan,FaultInjection/crashes,FaultInjection/lossy \
-		-out BENCH_sim.json
-	@echo "bench-json: wrote BENCH_sim.json"
+	$(BENCH_RUN) | $(GO) run ./cmd/benchjson -require $(BENCH_REQUIRE) -out BENCH_sim.json
+	@echo "bench-json: wrote BENCH_sim.json (commit it to rebaseline)"
 
-# bench-smoke is the CI gate: one iteration of every hot-path benchmark
-# (so the loop bodies stay compilable and runnable) plus the alloc-gate
-# tests, which fail on any allocation regression in the kernel or the
-# messaging hot path.
+# bench-smoke is the CI gate: a short run of every hot-path benchmark,
+# the alloc-gate tests, and a tolerance-band comparison of the fresh
+# results against the committed BENCH_sim.json — the same comparator
+# the matrix gate uses (allocs near-exact, bytes banded, wall time
+# ignored). 100 iterations, not 1: allocs/op only matches the
+# steady-state baseline once one-time warmup allocations amortize.
+bench-smoke: BENCHTIME = 100x
 bench-smoke:
 	$(GO) test -run 'AllocFree' -count=1 $(BENCH_PKGS)
-	$(MAKE) bench-json BENCHTIME=1x
+	@mkdir -p $(ARTIFACTS)/bench
+	$(BENCH_RUN) | $(GO) run ./cmd/benchjson -require $(BENCH_REQUIRE) \
+		-out $(ARTIFACTS)/bench/BENCH_sim.json -baseline BENCH_sim.json
 
-check: build lint vet distwsvet test race causal-smoke chaos-smoke
+# matrix-smoke is the cross-run regression gate: the scenario matrix
+# (tree × selector × ranks × fault plan) runs at quick scale, writes one
+# run manifest per cell to $(ARTIFACTS)/runs/latest, and compares every
+# cell against the committed baseline ledger in artifacts/runs/baseline
+# with per-metric tolerance bands. Regressed cells fail the build and
+# get a causal attribution report next to their manifests (CI uploads
+# them). `make matrix-smoke PERTURB=3` proves the gate trips.
+MATRIX_SCALE ?= quick
+PERTURB ?= 0
+matrix-smoke:
+	$(GO) run ./cmd/experiments -matrix -scale $(MATRIX_SCALE) -perturb $(PERTURB) \
+		-matrix-out $(ARTIFACTS)/runs/latest -baseline artifacts/runs/baseline
+
+# matrix-baseline regenerates the committed golden ledger. Rebaseline
+# workflow: run this after a deliberate behaviour change, review the
+# manifest diffs (`git diff artifacts/runs/baseline`), and commit.
+matrix-baseline:
+	$(GO) run ./cmd/experiments -matrix -scale $(MATRIX_SCALE) -matrix-out artifacts/runs/baseline
+	@echo "matrix-baseline: regenerated artifacts/runs/baseline — review the diff and commit"
+
+check: build lint vet distwsvet test race causal-smoke chaos-smoke matrix-smoke
 	@echo "check: all gates passed"
 
 clean:

@@ -10,6 +10,13 @@
 // line it cannot parse, and with -require it also fails when a named
 // benchmark is missing — that is what lets CI treat a silently skipped
 // benchmark as an error instead of an empty artifact.
+//
+// -baseline compares the fresh results against a committed report
+// (BENCH_sim.json at the repo root) with the same tolerance-band
+// comparator the scenario-matrix gate uses (internal/obs/diff): alloc
+// counts are near-exact, bytes get a small band, and ns/op is ignored
+// unless -nsband opts in (shared-runner wall time is noise). A new or
+// vanished benchmark is a rebaseline condition, not a silent pass.
 package main
 
 import (
@@ -19,8 +26,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+
+	"distws/internal/obs/diff"
 )
 
 // Benchmark is one `go test -bench` result line.
@@ -48,6 +58,8 @@ type Report struct {
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	require := flag.String("require", "", "comma-separated benchmark names that must be present")
+	baseline := flag.String("baseline", "", "committed benchjson report to gate allocation counts against")
+	nsband := flag.Float64("nsband", 0, "also gate ns/op within this relative band (0 disables; wall time is noisy on shared runners)")
 	flag.Parse()
 
 	rep, err := parse(os.Stdin)
@@ -67,12 +79,90 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "" {
 		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		if err := compareBaseline(rep, *baseline, *nsband); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// Bands for the benchmark gate. Allocation counts in a deterministic
+// simulator are reproducible, so they get a near-exact band; bytes/op
+// can wobble with map growth, so they get slack.
+var (
+	allocsBand = diff.Band{Rel: 0.01, Abs: 2}
+	bytesBand  = diff.Band{Rel: 0.10, Abs: 256}
+)
+
+// compareBaseline gates rep against the committed report at path using
+// the shared tolerance-band comparator. Benchmarks appearing in only
+// one of the two reports force a rebaseline (`make bench-json` + commit).
+func compareBaseline(rep *Report, path string, nsRel float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	key := func(b Benchmark) string { return b.Pkg + "." + b.Name }
+	baseIdx := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseIdx[key(b)] = b
+	}
+
+	g := &diff.Gate{}
+	seen := map[string]bool{}
+	var missing []string
+	for _, b := range rep.Benchmarks {
+		k := key(b)
+		bb, ok := baseIdx[k]
+		if !ok {
+			if !seen[k] {
+				missing = append(missing, k)
+				seen[k] = true
+			}
+			continue
+		}
+		seen[k] = true
+		if b.AllocsPerOp >= 0 && bb.AllocsPerOp >= 0 {
+			g.Check(k+"/allocs_per_op", allocsBand, float64(bb.AllocsPerOp), float64(b.AllocsPerOp))
+		}
+		if b.BytesPerOp >= 0 && bb.BytesPerOp >= 0 {
+			g.Check(k+"/bytes_per_op", bytesBand, float64(bb.BytesPerOp), float64(b.BytesPerOp))
+		}
+		if nsRel > 0 {
+			g.Check(k+"/ns_per_op", diff.Band{Rel: nsRel}, bb.NsPerOp, b.NsPerOp)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("benchmark(s) missing from baseline %s: %s (rerun `make bench-json` and commit the report)",
+			path, strings.Join(missing, ", "))
+	}
+	var stale []string
+	for k := range baseIdx {
+		if !seen[k] {
+			stale = append(stale, k)
+		}
+	}
+	if len(stale) > 0 {
+		sort.Strings(stale)
+		return fmt.Errorf("baseline %s has benchmark(s) this run no longer produces: %s (rerun `make bench-json` and commit the report)",
+			path, strings.Join(stale, ", "))
+	}
+	if err := g.Report(os.Stdout); err != nil {
+		return err
+	}
+	if !g.OK() {
+		return fmt.Errorf("benchmark baseline gate failed against %s", path)
+	}
+	return nil
 }
 
 // parse consumes `go test -bench` output. Package banners (pkg:, goos:,

@@ -338,6 +338,39 @@ func TestCausalPackageCleanWithoutAllowlists(t *testing.T) {
 	}
 }
 
+// TestLedgerDiffPackagesCleanWithoutAllowlists machine-checks the
+// cross-run observability layer (internal/obs/ledger and
+// internal/obs/diff) with every exception stripped. Manifests are the
+// committed baseline the matrix gate compares CI runs against, and
+// diffs are golden-tested byte for byte — any randomness, wall-clock
+// read, or map-iteration-ordered output in these packages would churn
+// baselines and reports nondeterministically. They must pass the bare
+// analyzers with no allowlist entry.
+func TestLedgerDiffPackagesCleanWithoutAllowlists(t *testing.T) {
+	pkgNames := []string{"distws/internal/obs/ledger", "distws/internal/obs/diff"}
+	for _, pkg := range pkgNames {
+		for _, e := range append(append([]string{}, randExempt...), wallClockOK...) {
+			if pkg == e {
+				t.Fatalf("%s is allowlisted (%v); the run ledger must pass unexcepted", pkg, e)
+			}
+		}
+	}
+	pkgs, err := analysis.Load("../..", pkgNames...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	diags, err := analysis.Run(pkgs, bare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding: %v", d)
+	}
+}
+
 // TestFaultPackageCleanWithoutAllowlists machine-checks the fault
 // subsystem (internal/fault) with every exception stripped. The whole
 // point of the package is deterministic adversity: crash times come

@@ -5,10 +5,12 @@
 //
 // Files ending in .jsonl are parsed with trace.ReadJSONL and must pass
 // trace.Validate. Files ending in .json must be valid JSON and are
-// additionally checked as Chrome trace-event files (non-empty
-// traceEvents) when they carry that key, or as non-empty tracetool
-// -format json reports when they are arrays. Exit status is non-zero
-// if any file fails; each file gets one OK/FAIL line.
+// additionally checked as run manifests (ledger.Validate, including the
+// causal partition identities) when they carry the manifest "schema"
+// key, as Chrome trace-event files (non-empty traceEvents) when they
+// carry that key, or as non-empty tracetool -format json reports when
+// they are arrays. Exit status is non-zero if any file fails; each file
+// gets one OK/FAIL line.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"distws/internal/obs/ledger"
 	"distws/internal/trace"
 )
 
@@ -79,6 +82,17 @@ func checkJSON(path string) (string, error) {
 	}
 	switch v := doc.(type) {
 	case map[string]any:
+		if _, ok := v["schema"]; ok {
+			m, err := ledger.Decode(data)
+			if err != nil {
+				return "", err
+			}
+			if err := m.Validate(); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("run manifest %q, %d ranks, makespan %v",
+				m.ID, m.Spec.Ranks, m.Makespan()), nil
+		}
 		events, ok := v["traceEvents"]
 		if !ok {
 			return "JSON object", nil

@@ -15,6 +15,13 @@
 //	tracetool -in a.jsonl -in b.jsonl -format json
 //	tracetool -in t.jsonl -lifestory -rows 32
 //	tracetool -in t.jsonl -chrome t.json     # convert for ui.perfetto.dev
+//	tracetool -diff -in a.manifest.json -in b.manifest.json
+//	tracetool -diff -in a.jsonl -in b.jsonl -format json
+//
+// -diff compares two runs — ledger manifests written by `uts -manifest`
+// or the matrix harness, or raw traces summarized on the fly — into a
+// causal attribution report: which critical-path segments, blame causes
+// and links the makespan delta decomposes into (DESIGN.md §12).
 package main
 
 import (
@@ -23,10 +30,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"distws/internal/metrics"
 	"distws/internal/obs"
 	"distws/internal/obs/causal"
+	"distws/internal/obs/diff"
+	"distws/internal/obs/ledger"
 	"distws/internal/sim"
 	"distws/internal/trace"
 )
@@ -144,6 +155,7 @@ func main() {
 	var (
 		ins          inList
 		formatFlag   = flag.String("format", "text", "output format: text|json")
+		diffFlag     = flag.Bool("diff", false, "diff exactly two -in inputs (run manifests or raw traces) into an attribution report")
 		chromeFlag   = flag.String("chrome", "", "convert the (single) input to Chrome trace-event JSON at this path")
 		lifeFlag     = flag.Bool("lifestory", false, "print per-rank activity bars")
 		blameFlag    = flag.Bool("blame", false, "print the idle-time blame attribution table")
@@ -167,6 +179,13 @@ func main() {
 	}
 	if *chromeFlag != "" && len(ins) != 1 {
 		fatalf("-chrome converts exactly one trace; got %d inputs", len(ins))
+	}
+	if *diffFlag {
+		if len(ins) != 2 {
+			fatalf("-diff compares exactly two inputs; got %d", len(ins))
+		}
+		runDiff(ins[0], ins[1], *formatFlag)
+		return
 	}
 
 	opts := renderOpts{
@@ -201,6 +220,49 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+}
+
+// runDiff loads two inputs as run manifests — *.jsonl files are raw
+// traces, summarized on the fly via ledger.FromTrace — and renders the
+// causal attribution report between them.
+func runDiff(pathA, pathB, format string) {
+	a, b := loadManifest(pathA), loadManifest(pathB)
+	d := diff.Compute(a, b)
+	if err := d.CheckIdentities(); err != nil {
+		fatalf("%v", err)
+	}
+	var err error
+	if format == "json" {
+		err = d.WriteJSON(os.Stdout)
+	} else {
+		err = d.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// loadManifest reads a ledger manifest, or summarizes a raw .jsonl
+// trace into a partial one (causal sections and makespan only).
+func loadManifest(path string) *ledger.Manifest {
+	if strings.HasSuffix(path, ".jsonl") {
+		m := ledger.FromTrace(diffLabel(path), ledger.Spec{}, load(path))
+		if err := m.Validate(); err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		return m
+	}
+	m, err := ledger.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return m
+}
+
+// diffLabel names a trace-derived manifest after its file.
+func diffLabel(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, ".jsonl")
 }
 
 func load(path string) *trace.Trace {

@@ -20,12 +20,15 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
+	"runtime/debug"
 	"strings"
 
 	"distws/internal/core"
 	"distws/internal/metrics"
 	"distws/internal/obs"
 	"distws/internal/obs/causal"
+	"distws/internal/obs/ledger"
 	"distws/internal/sim"
 	"distws/internal/term"
 	"distws/internal/topology"
@@ -49,6 +52,7 @@ func main() {
 		eventsFlag    = flag.Bool("events", false, "collect the protocol event log even without -trace/-chrome")
 		eventBufFlag  = flag.Int("eventbuf", 0, "per-rank event ring capacity (0 = default)")
 		obsFlag       = flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :6060)")
+		manifestFlag  = flag.String("manifest", "", "write the run manifest (ledger JSON) to this file; diff runs with tracetool -diff")
 		faultsFlag    = flag.String("faults", "", "JSON fault-plan file (crashes, stragglers, lossy links)")
 		crashFlag     = flag.String("crash", "", "inline crash schedule: rank@time,... (e.g. 3@40us,11@2ms)")
 		stragglerFlag = flag.String("straggler", "", "inline stragglers: rank@compute[xsend],... (e.g. 5@3x2)")
@@ -231,10 +235,61 @@ func main() {
 		}
 	}
 
+	// Manifest emission happens after the run, reading only the Result:
+	// observer-effect-free by construction (the ledger tests assert it).
+	if *manifestFlag != "" {
+		spec := ledger.SpecFromConfig(info.Name, "", cfg)
+		spec.Selector = *selFlag
+		if *detFlag != "Safra" {
+			spec.Detector = *detFlag
+		}
+		m := ledger.FromRun(manifestID(*manifestFlag), spec, res)
+		m.Generator = generator()
+		if err := m.WriteFile(*manifestFlag); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("\n  manifest:        %s (compare runs with tracetool -diff)\n", *manifestFlag)
+	}
+
 	if *obsFlag != "" {
 		fmt.Printf("\nrun complete; still serving %s — interrupt to exit\n", *obsFlag)
 		select {}
 	}
+}
+
+// manifestID derives the run label from the manifest file name.
+func manifestID(path string) string {
+	base := filepath.Base(path)
+	base = strings.TrimSuffix(base, ".json")
+	return strings.TrimSuffix(base, ".manifest")
+}
+
+// generator reports the producing binary's VCS revision when the build
+// carries one. It is provenance, not configuration: ledger comparisons
+// and the determinism contract exclude it.
+func generator() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
 }
 
 // segShare returns segment kind k's percentage of the critical path.

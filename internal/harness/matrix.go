@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"distws/internal/obs/diff"
+	"distws/internal/obs/ledger"
+	"distws/internal/sim"
+	"distws/internal/topology"
+	"distws/internal/uts"
+)
+
+// The scenario matrix is the regression harness behind `make
+// matrix-smoke`: a small grid of (tree preset × victim selector × rank
+// count × fault plan) cells, each executed deterministically and
+// summarized into a run manifest (internal/obs/ledger). CI compares the
+// freshly generated ledger against the committed baseline under
+// artifacts/runs/baseline/ with per-metric tolerance bands
+// (internal/obs/diff), so a performance or resilience regression in any
+// cell fails the build with an attribution report instead of a bare
+// number.
+
+// matrixVariants are the policies the matrix tracks: the paper's
+// reference, uniform random, and the distance-skewed winner. The grid
+// stays small on purpose — it is a smoke gate, not the full Fig. 9
+// sweep.
+var matrixVariants = []Variant{Reference, Rand, Tofu}
+
+// matrixRanks returns the grid's rank counts per scale.
+func matrixRanks(scale Scale) []int {
+	switch scale {
+	case Quick:
+		return []int{16, 32}
+	case Full:
+		return []int{128, 256}
+	default:
+		return []int{64, 128}
+	}
+}
+
+// matrixTree names the grid's workload preset per scale.
+func matrixTree(scale Scale) string {
+	if scale == Quick {
+		return "H-TINY"
+	}
+	return "H-SMALL"
+}
+
+// MatrixOptions parameterizes one matrix execution.
+type MatrixOptions struct {
+	Scale Scale
+	Seed  uint64
+	// LatencyScale multiplies every network latency when > 1. It models
+	// a code regression (the configuration fingerprint is unchanged —
+	// only behaviour shifts), and exists so the tolerance gate can be
+	// proven to fail: `make matrix-smoke PERTURB=3` must go red.
+	LatencyScale int
+}
+
+// inflatedLatency scales a latency model uniformly; the deliberate
+// regression behind MatrixOptions.LatencyScale.
+type inflatedLatency struct {
+	base topology.LatencyModel
+	mul  int64
+}
+
+func (l inflatedLatency) Latency(j *topology.Job, i, k int, bytes int) sim.Duration {
+	return sim.Duration(int64(l.base.Latency(j, i, k, bytes)) * l.mul)
+}
+
+// matrixCell pairs a run with its manifest identity.
+type matrixCell struct {
+	id   string
+	tree string
+	run  Run
+}
+
+// cellID derives the deterministic manifest ID for one cell.
+func cellID(tree string, ranks int, variant string, chaos bool) string {
+	id := fmt.Sprintf("%s-%d-%s", strings.ToLower(tree), ranks,
+		strings.ReplaceAll(strings.ToLower(variant), " ", "-"))
+	if chaos {
+		id += "-chaos"
+	}
+	return id
+}
+
+// matrixCells builds the fault-free grid in presentation order.
+func matrixCells(opt MatrixOptions) []matrixCell {
+	tree := matrixTree(opt.Scale)
+	params := uts.MustPreset(tree).Params
+	var cells []matrixCell
+	for _, ranks := range matrixRanks(opt.Scale) {
+		for _, v := range matrixVariants {
+			id := cellID(tree, ranks, v.Name, false)
+			cells = append(cells, matrixCell{
+				id:   id,
+				tree: tree,
+				run: Run{
+					Label: id, Variant: v,
+					Ranks: ranks, Placement: topology.OnePerNode, Tree: params,
+					NodeCost: experimentNodeCost, Trace: true, Events: true,
+					Seed: opt.Seed,
+				},
+			})
+		}
+	}
+	return cells
+}
+
+// RunMatrix executes the scenario grid plus one calibrated chaos cell
+// and returns the manifests in cell order. The chaos plan derives from
+// a dedicated fault-free, unperturbed calibration run, so it is a pure
+// function of (scale, seed): a LatencyScale perturbation shifts cell
+// behaviour without shifting any configuration fingerprint.
+func RunMatrix(opt MatrixOptions) ([]*ledger.Manifest, error) {
+	cells := matrixCells(opt)
+	tree := matrixTree(opt.Scale)
+	params := uts.MustPreset(tree).Params
+	chaosRanks := matrixRanks(opt.Scale)[len(matrixRanks(opt.Scale))-1]
+
+	cal, err := Execute([]Run{{
+		Label: "matrix calibrate", Variant: Reference,
+		Ranks: chaosRanks, Placement: topology.OnePerNode, Tree: params,
+		NodeCost: experimentNodeCost, Seed: opt.Seed,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	plan := chaosPlan(chaosRanks, cal[0].Result.Makespan, opt.Seed)
+	chaosID := cellID(tree, chaosRanks, Tofu.Name, true)
+	cells = append(cells, matrixCell{
+		id:   chaosID,
+		tree: tree,
+		run: Run{
+			Label: chaosID, Variant: Tofu,
+			Ranks: chaosRanks, Placement: topology.OnePerNode, Tree: params,
+			NodeCost: experimentNodeCost, Trace: true, Events: true,
+			Seed: opt.Seed, Faults: plan,
+		},
+	})
+
+	runs := make([]Run, len(cells))
+	for i, c := range cells {
+		runs[i] = c.run
+		if opt.LatencyScale > 1 {
+			runs[i].Latency = inflatedLatency{topology.DefaultLatency(), int64(opt.LatencyScale)}
+		}
+	}
+	outs, err := Execute(runs)
+	if err != nil {
+		return nil, err
+	}
+
+	manifests := make([]*ledger.Manifest, len(outs))
+	for i, o := range outs {
+		spec := ledger.SpecFromConfig(cells[i].tree, opt.Scale.String(), o.Run.config())
+		spec.Selector = o.Run.Variant.Name
+		m := ledger.FromRun(cells[i].id, spec, o.Result)
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("harness: matrix cell %s produced an invalid manifest: %w", cells[i].id, err)
+		}
+		manifests[i] = m
+	}
+	return manifests, nil
+}
+
+// WriteMatrix writes one manifest file per cell into dir and returns
+// the written paths in cell order.
+func WriteMatrix(manifests []*ledger.Manifest, dir string) ([]string, error) {
+	paths := make([]string, len(manifests))
+	for i, m := range manifests {
+		path := filepath.Join(dir, m.FileName())
+		if err := m.WriteFile(path); err != nil {
+			return nil, err
+		}
+		paths[i] = path
+	}
+	return paths, nil
+}
+
+// CompareBaseline gates freshly generated manifests against the
+// committed baseline ledger in baselineDir. Structural mismatches —
+// missing or extra cells, or a configuration fingerprint drift (the
+// grid itself changed, so bands are meaningless and a rebaseline is
+// required) — come back as errors; metric drifts within a known grid
+// accumulate as tolerance-band violations in the returned gate.
+func CompareBaseline(baselineDir string, got []*ledger.Manifest, tol diff.Tolerances) (*diff.Gate, error) {
+	base, err := ledger.ReadDir(baselineDir)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(got))
+	g := &diff.Gate{}
+	for _, m := range got {
+		b, ok := base[m.ID]
+		if !ok {
+			return nil, fmt.Errorf("harness: cell %q has no baseline manifest in %s (run `make matrix-baseline` and commit it)", m.ID, baselineDir)
+		}
+		seen[m.ID] = true
+		if b.Fingerprint != m.Fingerprint {
+			d := diff.Compute(b, m)
+			return nil, fmt.Errorf("harness: cell %q configuration drifted from its baseline (%s; rebaseline with `make matrix-baseline`)",
+				m.ID, strings.Join(d.SpecChanges, "; "))
+		}
+		diff.GateManifests(g, m.ID, b, m, tol)
+	}
+	var stale []string
+	for id := range base {
+		if !seen[id] {
+			stale = append(stale, id)
+		}
+	}
+	if len(stale) > 0 {
+		sort.Strings(stale)
+		return nil, fmt.Errorf("harness: baseline %s has cell(s) the matrix no longer produces: %s (rebaseline with `make matrix-baseline`)",
+			baselineDir, strings.Join(stale, ", "))
+	}
+	return g, nil
+}

@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"distws/internal/obs/diff"
+	"distws/internal/obs/ledger"
+)
+
+// matrixOpts is the quick-scale matrix every test runs.
+func matrixOpts() MatrixOptions { return MatrixOptions{Scale: Quick, Seed: 12345} }
+
+// TestMatrixDeterministic: two executions of the same matrix produce
+// byte-identical manifest files — the property that makes the committed
+// baseline ledger meaningful.
+func TestMatrixDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	run := func() [][]byte {
+		ms, err := RunMatrix(matrixOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs := make([][]byte, len(ms))
+		for i, m := range ms {
+			data, err := m.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			encs[i] = data
+		}
+		return encs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Errorf("cell %d manifest is not deterministic", i)
+		}
+	}
+}
+
+// TestMatrixGatesItself: a matrix written as its own baseline passes
+// the default tolerance policy exactly, and the grid covers every
+// variant, both rank counts, and the chaos cell.
+func TestMatrixGatesItself(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	ms, err := RunMatrix(matrixOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantCells := len(matrixRanks(Quick))*len(matrixVariants) + 1
+	if len(ms) != wantCells {
+		t.Fatalf("matrix produced %d cells, want %d", len(ms), wantCells)
+	}
+	ids := make(map[string]bool, len(ms))
+	for _, m := range ms {
+		ids[m.ID] = true
+	}
+	for _, want := range []string{"h-tiny-16-reference", "h-tiny-32-rand", "h-tiny-32-tofu-chaos"} {
+		if !ids[want] {
+			t.Errorf("matrix is missing cell %q (have %v)", want, ids)
+		}
+	}
+	chaos := ms[len(ms)-1]
+	if chaos.Spec.FaultPlanHash == "" {
+		t.Error("chaos cell has no fault plan hash")
+	}
+	if chaos.Result.LostNodes == 0 && chaos.Result.CrashedRanks == 0 {
+		t.Error("chaos cell shows no fault effects")
+	}
+
+	dir := t.TempDir()
+	if _, err := WriteMatrix(ms, dir); err != nil {
+		t.Fatal(err)
+	}
+	gate, err := CompareBaseline(dir, ms, diff.DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gate.OK() {
+		var buf bytes.Buffer
+		gate.Report(&buf)
+		t.Fatalf("matrix fails its own baseline:\n%s", buf.String())
+	}
+	if gate.Checked == 0 {
+		t.Fatal("gate checked no metrics")
+	}
+}
+
+// TestMatrixGateFailsUnderPerturbation is the acceptance check: a
+// seeded latency inflation — behaviour drift with an unchanged
+// configuration fingerprint — must push cells outside their tolerance
+// bands against a clean baseline.
+func TestMatrixGateFailsUnderPerturbation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	clean, err := RunMatrix(matrixOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := WriteMatrix(clean, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := matrixOpts()
+	opt.LatencyScale = 3
+	perturbed, err := RunMatrix(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate, err := CompareBaseline(dir, perturbed, diff.DefaultTolerances())
+	if err != nil {
+		t.Fatalf("perturbation must trip bands, not structural errors: %v", err)
+	}
+	if gate.OK() {
+		t.Fatal("3x latency inflation stayed inside every tolerance band")
+	}
+	var buf bytes.Buffer
+	if err := gate.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "OUT OF BAND") {
+		t.Errorf("gate report does not flag the violation:\n%s", buf.String())
+	}
+}
+
+// TestCompareBaselineStructuralErrors: missing cells, stale cells, and
+// fingerprint drift are rebaseline conditions, not band violations.
+func TestCompareBaselineStructuralErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	ms, err := RunMatrix(matrixOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := diff.DefaultTolerances()
+
+	// Missing baseline cell.
+	dir := t.TempDir()
+	if _, err := WriteMatrix(ms[:len(ms)-1], dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareBaseline(dir, ms, tol); err == nil ||
+		!strings.Contains(err.Error(), "no baseline manifest") {
+		t.Errorf("missing baseline cell: err = %v", err)
+	}
+
+	// Stale baseline cell the matrix no longer produces.
+	dir = t.TempDir()
+	if _, err := WriteMatrix(ms, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareBaseline(dir, ms[:len(ms)-1], tol); err == nil ||
+		!strings.Contains(err.Error(), "no longer produces") {
+		t.Errorf("stale baseline cell: err = %v", err)
+	}
+
+	// Fingerprint drift: same cell ID, different configuration.
+	drifted := make([]*ledger.Manifest, len(ms))
+	copy(drifted, ms)
+	clone := *ms[0]
+	clone.Spec.Seed++
+	clone.Fingerprint = clone.Spec.Fingerprint()
+	drifted[0] = &clone
+	if _, err := CompareBaseline(dir, drifted, tol); err == nil ||
+		!strings.Contains(err.Error(), "configuration drifted") {
+		t.Errorf("fingerprint drift: err = %v", err)
+	}
+}

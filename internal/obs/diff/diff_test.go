@@ -1,0 +1,221 @@
+package diff
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"distws/internal/core"
+	"distws/internal/obs/ledger"
+	"distws/internal/topology"
+	"distws/internal/uts"
+	"distws/internal/victim"
+)
+
+// runManifest executes one small traced run and builds its manifest.
+func runManifest(t *testing.T, id, selName string, sel victim.Factory, seed uint64) *ledger.Manifest {
+	t.Helper()
+	cfg := core.Config{
+		Tree:          uts.MustPreset("T3").Params,
+		Ranks:         16,
+		Placement:     topology.OnePerNode,
+		Selector:      sel,
+		Seed:          seed,
+		ChunkSize:     4,
+		CollectTrace:  true,
+		CollectEvents: true,
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ledger.SpecFromConfig("T3", "", cfg)
+	spec.Selector = selName
+	m := ledger.FromRun(id, spec, res)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("manifest %s invalid: %v", id, err)
+	}
+	return m
+}
+
+// TestSelfDiffIsZero: the diff of a run against itself must be exactly
+// zero everywhere — makespan, every critical segment, every blame
+// cause, every steal counter, every link.
+func TestSelfDiffIsZero(t *testing.T) {
+	a := runManifest(t, "self", "Tofu", victim.NewDistanceSkewed, 5)
+	b := runManifest(t, "self", "Tofu", victim.NewDistanceSkewed, 5)
+	d := Compute(a, b)
+	if err := d.CheckIdentities(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Zero() {
+		var buf bytes.Buffer
+		d.WriteText(&buf)
+		t.Fatalf("self-diff is not zero:\n%s", buf.String())
+	}
+	if !d.SameSpec || len(d.SpecChanges) != 0 {
+		t.Errorf("self-diff reports spec changes: same=%v changes=%v", d.SameSpec, d.SpecChanges)
+	}
+	if d.Steals == nil || d.Blame == nil || d.Critical == nil || d.PerRank == nil {
+		t.Error("self-diff dropped sections present in both manifests")
+	}
+}
+
+// TestDiffIdentities: two runs that differ only in victim selector must
+// produce per-segment critical deltas summing exactly to the makespan
+// delta and per-cause blame deltas summing exactly to ranks × makespan
+// delta — the acceptance identity of the diff engine.
+func TestDiffIdentities(t *testing.T) {
+	a := runManifest(t, "tofu", "Tofu", victim.NewDistanceSkewed, 5)
+	b := runManifest(t, "rand", "Rand", victim.NewUniformRandom, 5)
+	d := Compute(a, b)
+	if err := d.CheckIdentities(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Critical == nil || d.Blame == nil {
+		t.Fatal("diff of two traced runs is missing causal sections")
+	}
+	if got, want := d.Critical.Sum(), d.Makespan.Delta; got != want {
+		t.Errorf("critical deltas sum to %d, want makespan delta %d", got, want)
+	}
+	if got, want := d.Blame.Sum(), int64(16)*d.Makespan.Delta; got != want {
+		t.Errorf("blame deltas sum to %d, want 16×makespan delta %d", got, want)
+	}
+	if len(d.SpecChanges) != 1 || !strings.HasPrefix(d.SpecChanges[0], "selector:") {
+		t.Errorf("spec changes = %v, want exactly the selector", d.SpecChanges)
+	}
+	if d.SameSpec {
+		t.Error("different selectors reported as same spec")
+	}
+}
+
+// TestReportByteStable: independently recomputed diffs of the same two
+// configurations render byte-identical text and JSON.
+func TestReportByteStable(t *testing.T) {
+	render := func() (string, string) {
+		a := runManifest(t, "tofu", "Tofu", victim.NewDistanceSkewed, 5)
+		b := runManifest(t, "rand", "Rand", victim.NewUniformRandom, 5)
+		d := Compute(a, b)
+		var txt, js bytes.Buffer
+		if err := d.WriteText(&txt); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		return txt.String(), js.String()
+	}
+	t1, j1 := render()
+	t2, j2 := render()
+	if t1 != t2 {
+		t.Errorf("text report is not byte-stable:\n--- first\n%s\n--- second\n%s", t1, t2)
+	}
+	if j1 != j2 {
+		t.Error("JSON report is not byte-stable")
+	}
+	for _, want := range []string{"run diff:", "critical path", "idle-time blame", "steals:", "selector: Tofu -> Rand"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("text report missing %q:\n%s", want, t1)
+		}
+	}
+	if !strings.Contains(t1, "slower") && !strings.Contains(t1, "faster") &&
+		!strings.Contains(t1, "makespan-identical") {
+		t.Errorf("headline missing from report:\n%s", t1)
+	}
+}
+
+// TestHeadlineDirections pins the headline phrasing for both signs.
+func TestHeadlineDirections(t *testing.T) {
+	mk := func(a, b int64) *Delta {
+		return Compute(
+			&ledger.Manifest{Spec: ledger.Spec{Ranks: 1}, Result: ledger.ResultSummary{MakespanNS: a}},
+			&ledger.Manifest{Spec: ledger.Spec{Ranks: 1}, Result: ledger.ResultSummary{MakespanNS: b}},
+		)
+	}
+	if h := mk(1000, 1120).Headline(); !strings.Contains(h, "12.0% slower") {
+		t.Errorf("slower headline = %q", h)
+	}
+	if h := mk(1000, 900).Headline(); !strings.Contains(h, "10.0% faster") {
+		t.Errorf("faster headline = %q", h)
+	}
+	if h := mk(1000, 1000).Headline(); !strings.Contains(h, "makespan-identical") {
+		t.Errorf("identical headline = %q", h)
+	}
+}
+
+// TestBandCheck covers the comparator shared by the matrix and bench
+// gates: exact, relative, absolute, and combined bands.
+func TestBandCheck(t *testing.T) {
+	cases := []struct {
+		band      Band
+		base, got float64
+		ok        bool
+	}{
+		{Band{}, 5, 5, true},
+		{Band{}, 5, 5.0001, false},
+		{Band{Rel: 0.1}, 100, 109, true},
+		{Band{Rel: 0.1}, 100, 111, false},
+		{Band{Rel: 0.1}, -100, -109, true}, // relative scale uses |base|
+		{Band{Abs: 3}, 10, 13, true},
+		{Band{Abs: 3}, 10, 13.5, false},
+		{Band{Rel: 0.05, Abs: 2}, 100, 106.9, true},
+		{Band{Rel: 0.05, Abs: 2}, 100, 107.1, false},
+		{Band{Abs: 1}, 0, 0.5, true}, // abs band still works at base 0
+		{Band{Rel: 0.5}, 0, 0.5, false},
+	}
+	for i, c := range cases {
+		if got := c.band.Check(c.base, c.got); got != c.ok {
+			t.Errorf("case %d: Band%+v.Check(%v, %v) = %v, want %v", i, c.band, c.base, c.got, got, c.ok)
+		}
+	}
+}
+
+// TestGateReportsViolationsInOrder: the gate's report lists violations
+// in check order with the offending values.
+func TestGateReportsViolationsInOrder(t *testing.T) {
+	var g Gate
+	g.Check("a/ok", Band{Rel: 1}, 10, 11)
+	g.Check("b/bad", Band{}, 10, 11)
+	g.Check("c/bad", Band{Abs: 0.5}, 2, 3)
+	if g.OK() {
+		t.Fatal("gate passed with violations")
+	}
+	if g.Checked != 3 || len(g.Violations) != 2 {
+		t.Fatalf("checked %d, violations %d", g.Checked, len(g.Violations))
+	}
+	var buf bytes.Buffer
+	if err := g.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	bi, ci := strings.Index(out, "b/bad"), strings.Index(out, "c/bad")
+	if bi < 0 || ci < 0 || bi > ci {
+		t.Errorf("violations missing or out of order:\n%s", out)
+	}
+}
+
+// TestGateManifests: identical manifests pass the default tolerance
+// policy; a makespan pushed outside its band fails, naming the cell.
+func TestGateManifests(t *testing.T) {
+	base := runManifest(t, "cell", "Tofu", victim.NewDistanceSkewed, 5)
+	same := runManifest(t, "cell", "Tofu", victim.NewDistanceSkewed, 5)
+
+	var pass Gate
+	GateManifests(&pass, "cell", base, same, DefaultTolerances())
+	if !pass.OK() {
+		var buf bytes.Buffer
+		pass.Report(&buf)
+		t.Fatalf("identical run fails its own baseline:\n%s", buf.String())
+	}
+
+	perturbed := *same
+	perturbed.Result.MakespanNS = base.Result.MakespanNS + base.Result.MakespanNS/10 // +10% > 5% band
+	var fail Gate
+	GateManifests(&fail, "cell", base, &perturbed, DefaultTolerances())
+	if fail.OK() {
+		t.Fatal("10% makespan inflation passed a 5% band")
+	}
+	if !strings.Contains(fail.Violations[0].Name, "cell/makespan_ns") {
+		t.Errorf("violation names %v, want cell/makespan_ns first", fail.Violations)
+	}
+}
