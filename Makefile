@@ -11,7 +11,7 @@ ARTIFACTS ?= artifacts
 # corner: the golden ledger the matrix gate compares against.
 SMOKE = $(ARTIFACTS)/smoke
 
-.PHONY: build test vet distwsvet race lint obs-smoke causal-smoke chaos-smoke bench-json bench-smoke matrix-smoke matrix-baseline check clean
+.PHONY: build test vet distwsvet race lint obs-smoke causal-smoke chaos-smoke par-smoke bench-json bench-smoke matrix-smoke matrix-baseline check clean
 
 build:
 	$(GO) build ./...
@@ -35,9 +35,13 @@ distwsvet:
 	@echo "distwsvet: clean; report in $(ARTIFACTS)/distwsvet.json"
 
 # The concurrent packages get a dedicated race-detector pass; -short
-# keeps the stress budgets CI-sized.
+# keeps the stress budgets CI-sized. The sharded kernel and the sharded
+# engine tests (window barrier, staging queues, crash-during-window)
+# run under the detector in full: the parallel windows are the one
+# place simulated concurrency meets host concurrency.
 race:
-	$(GO) test -race -short ./internal/deque ./internal/rt
+	$(GO) test -race -short ./internal/deque ./internal/rt ./internal/sim/par
+	$(GO) test -race -run 'Sharded' -count=1 ./internal/core
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -101,9 +105,9 @@ chaos-smoke:
 # for archiving and cross-commit comparison. BENCHTIME=1x gives the
 # CI smoke variant below; default is a real measurement.
 BENCHTIME ?= 1s
-BENCH_PKGS = ./internal/sim ./internal/comm ./internal/topology ./internal/uts ./internal/fault .
-BENCH_NAMES = BenchmarkKernelHotPath|BenchmarkCommSend|BenchmarkLatencyLookup|BenchmarkUTSChildGen|BenchmarkFaultInjection
-BENCH_REQUIRE = KernelHotPath,CommSend,LatencyLookup,UTSChildGen,FaultInjection/nil-plan,FaultInjection/crashes,FaultInjection/lossy
+BENCH_PKGS = ./internal/sim ./internal/sim/par ./internal/comm ./internal/topology ./internal/uts ./internal/fault .
+BENCH_NAMES = BenchmarkKernelHotPath|BenchmarkShardedKernel|BenchmarkCommSend|BenchmarkLatencyLookup|BenchmarkUTSChildGen|BenchmarkFaultInjection
+BENCH_REQUIRE = KernelHotPath,ShardedKernel/shards=1,ShardedKernel/shards=2,ShardedKernel/shards=4,ShardedKernel/shards=8,CommSend,LatencyLookup,UTSChildGen,FaultInjection/nil-plan,FaultInjection/crashes,FaultInjection/lossy
 BENCH_RUN = $(GO) test -run '^$$' -bench '$(BENCH_NAMES)' -benchmem \
 	-benchtime $(BENCHTIME) $(BENCH_PKGS)
 
@@ -147,7 +151,34 @@ matrix-baseline:
 	$(GO) run ./cmd/experiments -matrix -scale $(MATRIX_SCALE) -matrix-out artifacts/runs/baseline
 	@echo "matrix-baseline: regenerated artifacts/runs/baseline — review the diff and commit"
 
-check: build lint vet distwsvet test race causal-smoke chaos-smoke matrix-smoke
+# par-smoke is the sharded-kernel determinism gate: the same Fig-9-style
+# run (Tofu selection, 1/N placement) executed at 1, 2, 4 and 8 shards
+# must print byte-identical results — every output of the run is virtual,
+# so any byte of divergence means the window protocol leaked host
+# scheduling into the simulation. Wall-clock per shard count lands in the
+# scaling-table artifact; on multi-core runners it shows the speedup,
+# on single-core CI it documents the coordination overhead.
+PAR_TREE ?= H-SMALL
+PAR_RANKS ?= 2048
+PAR_SHARDS ?= 1 2 4 8
+PAR_RUN = $(GO) run ./cmd/uts -tree $(PAR_TREE) -ranks $(PAR_RANKS) -chunk 4 -selector Tofu -seed 5
+par-smoke:
+	@mkdir -p $(SMOKE)
+	$(PAR_RUN) -shards 1 > $(SMOKE)/par.txt
+	@echo "# shards wall_seconds ($(PAR_TREE), $(PAR_RANKS) ranks, Tofu)" > $(SMOKE)/par.scaling.txt
+	@for s in $(PAR_SHARDS); do \
+		start=$$(date +%s.%N); \
+		$(PAR_RUN) -shards $$s > $(SMOKE)/par.$$s.txt || exit 1; \
+		end=$$(date +%s.%N); \
+		echo "$$s $$(echo "$$end $$start" | awk '{printf "%.2f", $$1-$$2}')" >> $(SMOKE)/par.scaling.txt; \
+		cmp -s $(SMOKE)/par.$$s.txt $(SMOKE)/par.txt || \
+			{ echo "par-smoke: shards=$$s diverged from sequential"; exit 1; }; \
+		rm -f $(SMOKE)/par.$$s.txt; \
+	done
+	@cat $(SMOKE)/par.scaling.txt
+	@echo "par-smoke: shards {$(PAR_SHARDS)} byte-identical; scaling table in $(SMOKE)/par.scaling.txt"
+
+check: build lint vet distwsvet test race par-smoke causal-smoke chaos-smoke matrix-smoke
 	@echo "check: all gates passed"
 
 clean:

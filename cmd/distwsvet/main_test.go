@@ -201,7 +201,7 @@ func bare() []*analysis.Analyzer {
 		walltime.New(virtualTime, nil),
 		lockcheck.New(),
 		atomicmix.New(),
-		detorder.New(detPackages),
+		detorder.New(detPackages, barrierSyncPackages),
 	}
 }
 
@@ -224,7 +224,7 @@ func TestObsPackagesClean(t *testing.T) {
 		walltime.New(virtualTime, wallClockOK),
 		lockcheck.New(),
 		atomicmix.New(),
-		detorder.New(detPackages),
+		detorder.New(detPackages, barrierSyncPackages),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -398,5 +398,61 @@ func TestFaultPackageCleanWithoutAllowlists(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("finding: %v", d)
+	}
+}
+
+// TestShardedKernelCleanWithoutAllowlists machine-checks the parallel
+// window coordinator (internal/sim/par): it sits inside the
+// deterministic core yet runs real goroutines, so it must hold every
+// invariant on its own merits — no randomness, no host clock, no lock
+// hazards around the barrier, no map-ordered or select-raced control
+// flow — with no allowlist entry anywhere. Its goroutines ride the
+// barrierSyncPackages carve-out, whose load-bearing-ness the next test
+// pins.
+func TestShardedKernelCleanWithoutAllowlists(t *testing.T) {
+	const pkg = "distws/internal/sim/par"
+	entries, err := loadAllowlist(filepath.Join("..", "..", defaultAllowlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Path == pkg {
+			t.Fatalf("%s is allowlisted (%q); the sharded kernel must pass unexcepted", pkg, e.Match)
+		}
+	}
+	pkgs, err := analysis.Load("../..", pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, bare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding: %v", d)
+	}
+}
+
+// TestBarrierSyncCarveOutIsLoadBearing strips barrierSyncPackages and
+// expects detorder to flag the sharded kernel's worker goroutines: the
+// carve-out is doing real work, not suppressing a rule nothing trips,
+// and it stays scoped to the go statement — the package must still be
+// subject to every other detorder rule.
+func TestBarrierSyncCarveOutIsLoadBearing(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "distws/internal/sim/par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{detorder.New(detPackages, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("internal/sim/par has no detorder findings without the barrier-sync carve-out; barrierSyncPackages is stale")
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "goroutine") {
+			t.Errorf("non-goroutine detorder finding in internal/sim/par: %v", d)
+		}
 	}
 }

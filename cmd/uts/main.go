@@ -46,6 +46,7 @@ func main() {
 		chunkFlag     = flag.Int("chunk", 4, "nodes per chunk (UTS default is 20; scaled experiments use 4)")
 		nodeCostFlag  = flag.Duration("nodecost", 0, "virtual time per child generation (default 1µs)")
 		seedFlag      = flag.Uint64("seed", 1, "random seed")
+		shardsFlag    = flag.Int("shards", 1, "parallel simulation shards (conservative time windows; 1 = sequential kernel)")
 		detFlag       = flag.String("termination", "Safra", "termination detector: Safra|Ring")
 		traceFlag     = flag.String("trace", "", "write the activity trace + event log (JSONL) to this file")
 		chromeFlag    = flag.String("chrome", "", "write a Chrome trace-event JSON file (open in Perfetto)")
@@ -142,6 +143,10 @@ func main() {
 		EventBuffer:   *eventBufFlag,
 		Metrics:       reg,
 		Faults:        plan,
+		Shards:        *shardsFlag,
+	}
+	if err := checkShards(*shardsFlag, *ranksFlag); err != nil {
+		fatalf("%v", err)
 	}
 	res, err := core.Run(cfg)
 	if err != nil {
@@ -316,4 +321,19 @@ func writeFile(path string, write func(io.Writer) error) {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
+}
+
+// checkShards validates the -shards flag before the run starts. The
+// engine re-validates (and also rejects mode combinations the flag
+// cannot see, like incompatible fault plans), but catching the plain
+// numeric mistakes here gives a flag-shaped message instead of a
+// config error.
+func checkShards(shards, ranks int) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", shards)
+	}
+	if shards > ranks {
+		return fmt.Errorf("-shards %d exceeds -ranks %d: each shard needs at least one rank", shards, ranks)
+	}
+	return nil
 }

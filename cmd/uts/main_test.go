@@ -6,8 +6,10 @@ import (
 	"strings"
 	"testing"
 
+	"distws/internal/core"
 	"distws/internal/fault"
 	"distws/internal/sim"
+	"distws/internal/uts"
 )
 
 func TestParseCrashSpec(t *testing.T) {
@@ -95,5 +97,58 @@ func TestBuildFaultPlanFile(t *testing.T) {
 	}
 	if _, err := buildFaultPlan(bad, "", "", 1); err == nil {
 		t.Fatal("malformed plan file accepted")
+	}
+}
+
+// TestCheckShards covers the -shards flag validation, and pins that
+// the combinations the flag cannot pre-check (a sharded run with a
+// fault plan needing the send-path interposer) are still rejected by
+// the engine the flag hands off to.
+func TestCheckShards(t *testing.T) {
+	if err := checkShards(1, 8); err != nil {
+		t.Fatalf("shards=1: %v", err)
+	}
+	if err := checkShards(8, 8); err != nil {
+		t.Fatalf("shards=ranks: %v", err)
+	}
+	for _, tc := range []struct{ shards, ranks int }{{0, 8}, {-2, 8}, {9, 8}} {
+		if err := checkShards(tc.shards, tc.ranks); err == nil {
+			t.Errorf("checkShards(%d, %d) accepted", tc.shards, tc.ranks)
+		}
+	}
+	cfg := core.Config{
+		Tree:   uts.MustPreset("T3S").Params,
+		Ranks:  8,
+		Shards: 2,
+		Faults: &fault.Plan{Links: []fault.LinkFault{{From: fault.Wildcard, To: fault.Wildcard, Drop: 0.1}}},
+	}
+	if _, err := core.Run(cfg); err == nil || !strings.Contains(err.Error(), "interposer") {
+		t.Fatalf("sharded run with link faults accepted: %v", err)
+	}
+}
+
+// TestShardedRunMatchesSequential drives the same small run through
+// the flag path's config at shards 1 and 4: the scalar results the
+// command prints must be identical.
+func TestShardedRunMatchesSequential(t *testing.T) {
+	base := core.Config{
+		Tree:  uts.MustPreset("T3S").Params,
+		Ranks: 16,
+		Seed:  1,
+	}
+	seq, err := core.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Shards = 4
+	res, err := core.Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != seq.Makespan || res.Nodes != seq.Nodes ||
+		res.StealRequests != seq.StealRequests || res.ChunksTransferred != seq.ChunksTransferred {
+		t.Fatalf("shards=4 diverged: makespan %v vs %v, steals %d vs %d",
+			res.Makespan, seq.Makespan, res.StealRequests, seq.StealRequests)
 	}
 }

@@ -11,7 +11,14 @@
 //     a range whose results are sorted before use is legitimate and
 //     carries an allowlist entry (uts.PresetNames is the one instance);
 //   - the go statement: the simulator is single-threaded by contract —
-//     concurrency lives in simulated time, not host threads;
+//     concurrency lives in simulated time, not host threads. The one
+//     sanctioned exception is the barrier-synchronized package list
+//     (internal/sim/par): its workers only run between a window-start
+//     receive and a window-done send, and every cross-shard message is
+//     merged at the barrier under a total (deliver, sent, sender, seq)
+//     key, so host scheduling order cannot reach any output — the
+//     sharded golden and determinism-matrix tests gate exactly that.
+//     Map ranges and multi-case selects stay flagged there;
 //   - select over two or more communication cases: the runtime picks a
 //     ready case pseudo-randomly. A single case (with or without
 //     default) is deterministic and stays legal.
@@ -25,8 +32,10 @@ import (
 )
 
 // New returns the analyzer. packages lists the deterministic packages
-// the contract covers.
-func New(packages []string) *analysis.Analyzer {
+// the contract covers; barrierSync lists the subset whose goroutines
+// are sanctioned by a barrier protocol that keeps host scheduling
+// unobservable (go statements allowed, everything else still flagged).
+func New(packages, barrierSync []string) *analysis.Analyzer {
 	a := &analysis.Analyzer{
 		Name: "detorder",
 		Doc:  "flags map ranges, go statements and multi-case selects in deterministic packages",
@@ -46,8 +55,10 @@ func New(packages []string) *analysis.Analyzer {
 						}
 					}
 				case *ast.GoStmt:
-					pass.Reportf(n.Pos(),
-						"spawns a goroutine in a deterministic package: the simulator is single-threaded by contract, concurrency lives in simulated time")
+					if !analysis.PathMatches(pass.ImportPath, barrierSync) {
+						pass.Reportf(n.Pos(),
+							"spawns a goroutine in a deterministic package: the simulator is single-threaded by contract, concurrency lives in simulated time")
+					}
 				case *ast.SelectStmt:
 					cases := 0
 					for _, cl := range n.Body.List {

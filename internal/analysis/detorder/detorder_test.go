@@ -8,13 +8,13 @@ import (
 )
 
 func TestDetorderFixture(t *testing.T) {
-	analysistest.Run(t, detorder.New([]string{"fix/detorder"}),
+	analysistest.Run(t, detorder.New([]string{"fix/detorder"}, nil),
 		"testdata/basic", "fix/detorder")
 }
 
 // TestDetorderSeededViolation proves the analyzer fires on a broken
 // copy of uts.PresetNames with the sort removed.
 func TestDetorderSeededViolation(t *testing.T) {
-	analysistest.Run(t, detorder.New([]string{"fix/detorderseeded"}),
+	analysistest.Run(t, detorder.New([]string{"fix/detorderseeded"}, nil),
 		"testdata/seeded", "fix/detorderseeded")
 }

@@ -12,6 +12,13 @@
 //
 //   - a return statement between the two ("skipped unlock"),
 //   - a channel send between the two,
+//   - a barrier primitive between the two — a channel receive or a
+//     sync.WaitGroup.Wait — which blocks until *another* goroutine
+//     acts; if that goroutine needs the held lock (the sharded
+//     kernel's window barrier is the motivating shape: workers
+//     rendezvous with a coordinator every window), the barrier never
+//     opens. sync.Cond.Wait is exempt: it is specified to be called
+//     with its lock held and releases it while waiting,
 //   - a Lock with no matching unlock and no deferred unlock at all.
 //
 // A deferred unlock (including one inside a deferred closure) guards
@@ -57,6 +64,8 @@ const (
 	unlockEvent
 	returnEvent
 	sendEvent
+	recvEvent
+	waitEvent
 )
 
 type event struct {
@@ -95,7 +104,14 @@ func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
 			events = append(events, event{pos: n.Pos(), kind: returnEvent})
 		case *ast.SendStmt:
 			events = append(events, event{pos: n.Arrow, kind: sendEvent})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				events = append(events, event{pos: n.OpPos, kind: recvEvent})
+			}
 		case *ast.CallExpr:
+			if isWaitGroupWait(pass, n) {
+				events = append(events, event{pos: n.Pos(), kind: waitEvent})
+			}
 			if method, key, ok := syncLockCall(pass, n); ok {
 				kind := lockEvent
 				if method == "Unlock" || method == "RUnlock" {
@@ -193,9 +209,45 @@ func reportScope(pass *analysis.Pass, events []event) {
 				pass.Reportf(e.pos,
 					"channel send while holding %s (%s at line %d): a blocked receiver stalls every goroutine queued on the lock",
 					l.key, l.method, lockLine)
+			case recvEvent:
+				pass.Reportf(e.pos,
+					"channel receive while holding %s (%s at line %d): the barrier cannot open if the sender needs the lock",
+					l.key, l.method, lockLine)
+			case waitEvent:
+				pass.Reportf(e.pos,
+					"WaitGroup.Wait while holding %s (%s at line %d): a worker that needs the lock can never call Done",
+					l.key, l.method, lockLine)
 			}
 		}
 	}
+}
+
+// isWaitGroupWait reports whether call is wg.Wait() on a
+// sync.WaitGroup receiver. sync.Cond.Wait deliberately does not match:
+// it must be called with the lock held.
+func isWaitGroupWait(pass *analysis.Pass, call *ast.CallExpr) bool {
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	sel := pass.Info.Selections[se]
+	if sel == nil || sel.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := sel.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != "Wait" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	ptr, ok := recv.Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
 }
 
 // syncLockCall reports whether call is mu.Lock / RLock / Unlock /

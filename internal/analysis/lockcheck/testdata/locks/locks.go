@@ -106,3 +106,40 @@ func independentLocks(s *store, other *store) {
 	other.mu.Unlock()
 	s.mu.Unlock()
 }
+
+func recvWhileLocked(s *store, ch chan int) {
+	s.mu.Lock()
+	s.items = append(s.items, <-ch) // want `channel receive while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func recvUnderDeferredLock(s *store, ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-ch // want `channel receive while holding s\.mu`
+}
+
+func waitWhileLocked(s *store, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `WaitGroup\.Wait while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func barrierOutsideCriticalSection(s *store, ch chan int, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	n := len(s.items)
+	s.mu.Unlock()
+	wg.Wait()
+	n += <-ch
+	s.mu.Lock()
+	s.items = append(s.items, n)
+	s.mu.Unlock()
+}
+
+func condWaitIsLegal(s *store, c *sync.Cond) {
+	c.L.Lock()
+	for len(s.items) == 0 {
+		c.Wait() // Cond.Wait releases its lock while parked: not a barrier hazard
+	}
+	c.L.Unlock()
+}

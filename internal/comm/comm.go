@@ -229,6 +229,15 @@ type Network struct {
 	// outcomes (fault injection). Nil in fault-free runs.
 	interposer Interposer
 
+	// router, when non-nil, is offered every message after the latency
+	// model has priced it and may claim it for out-of-band delivery. The
+	// sharded engine (internal/sim/par wiring in core) claims messages
+	// whose destination rank lives on another shard and re-injects them
+	// into the owning shard's kernel at the barrier; the sender's
+	// Sent/Bytes counters have already been taken when the router runs.
+	// Nil in sequential runs — the hot path costs one predicted branch.
+	router func(m *Message, delay sim.Duration) bool
+
 	// pool is the Message free list; Free returns messages to it.
 	pool []*Message
 	// pollBuf is per-rank scratch reused across Poll calls.
@@ -317,6 +326,11 @@ func (n *Network) send(m *Message) {
 		// request/reply livelocks in the simulator.
 		delay = 1
 	}
+	if n.router != nil && n.router(m, delay) {
+		// Claimed for cross-shard delivery; the router owns the message
+		// until it re-injects it on the destination shard.
+		return
+	}
 	if n.interposer != nil {
 		copies, d := n.interposer.Outcome(m, delay)
 		if d > 0 {
@@ -400,7 +414,30 @@ func (n *Network) Pending(rank int) bool { return n.mailbox[rank].n > 0 }
 // SetInterposer installs (or, with nil, removes) the message
 // interposer consulted on every send. It must be set before traffic
 // starts; swapping it mid-run would break replay determinism.
-func (n *Network) SetInterposer(ip Interposer) { n.interposer = ip }
+func (n *Network) SetInterposer(ip Interposer) {
+	if ip != nil && n.router != nil {
+		panic("comm: router and interposer are mutually exclusive")
+	}
+	n.interposer = ip
+}
+
+// SetRouter installs (or, with nil, removes) the cross-shard message
+// router consulted on every send. Like the interposer it must be set
+// before traffic starts; the two are mutually exclusive (the sharded
+// engine rejects fault plans that need an interposer).
+func (n *Network) SetRouter(fn func(m *Message, delay sim.Duration) bool) {
+	if fn != nil && n.interposer != nil {
+		panic("comm: router and interposer are mutually exclusive")
+	}
+	n.router = fn
+}
+
+// DeliverFn exposes the network's shared delivery callback so the
+// sharded engine can schedule a claimed message on this network's
+// kernel (via AtArg at send time + latency): the delivery then stamps
+// DeliveredAt, lands in the destination mailbox and fires its notify
+// exactly as a local send would.
+func (n *Network) DeliverFn() func(any) { return n.deliver }
 
 // SetNotify installs fn to be invoked (at delivery virtual time)
 // whenever a message is delivered to rank. Passing nil uninstalls it.

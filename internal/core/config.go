@@ -156,6 +156,26 @@ type Config struct {
 	// unless StealTimeout is set explicitly.
 	Faults *fault.Plan
 
+	// Shards partitions the ranks across that many parallel simulation
+	// kernels (internal/sim/par) synchronized by conservative time
+	// windows; 0 or 1 runs the classic sequential kernel, byte-identical
+	// to builds without the feature. For any fixed (Config, Shards) the
+	// run is bit-identical across repetitions — that is the hard
+	// determinism contract. The Result is additionally independent of
+	// the shard count unless the configuration produces symmetric
+	// same-instant collisions (two messages sent at the same nanosecond
+	// arriving at the same rank at the same nanosecond): there the
+	// sequential kernel breaks the tie by its global insertion counter,
+	// an order no windowed simulator can reconstruct, and the sharded
+	// runs use the canonical (deliver, sent, sender) order instead. The
+	// paper's Figure-9 configurations are collision-free and the
+	// determinism-matrix test pins their shard-count invariance. Shards
+	// must not exceed Ranks; sharding is incompatible with stateful
+	// latency models (topology.JitterLatency) and with fault plans that
+	// need the send-path interposer (link faults, straggler send
+	// multipliers).
+	Shards int
+
 	// Seed drives every random choice of the run.
 	Seed uint64
 
@@ -256,6 +276,17 @@ func (c Config) Validate() error {
 	if c.Faults != nil {
 		if err := c.Faults.Validate(c.Ranks); err != nil {
 			return err
+		}
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: %d shards", c.Shards)
+	}
+	if c.Shards > c.Ranks {
+		return fmt.Errorf("core: %d shards for %d ranks (shards must not exceed ranks)", c.Shards, c.Ranks)
+	}
+	if c.Shards > 1 {
+		if _, ok := c.Latency.(*topology.JitterLatency); ok {
+			return errors.New("core: JitterLatency is stateful and admits no sound lookahead bound; it cannot be sharded")
 		}
 	}
 	return nil

@@ -177,6 +177,13 @@ type engine struct {
 	detectedAt sim.Time
 	detected   bool
 	doneCount  int
+
+	// par links the engine into a sharded run (engine_par.go): nil for
+	// sequential runs, where every field above is engine-global. In a
+	// sharded run each shard owns one engine; ranks, det, sel, rec, ev
+	// and met are shared across the shard engines while the counters
+	// above are per-shard partial sums merged by mergeTotals.
+	par *parShared
 }
 
 // Result summarizes one simulated execution.
@@ -302,6 +309,9 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Shards > 1 {
+		return runSharded(cfg, job)
+	}
 
 	e := &engine{
 		cfg:        cfg,
@@ -393,7 +403,19 @@ func Run(cfg Config) (*Result, error) {
 	if !e.detected {
 		return nil, fmt.Errorf("core: event queue drained without termination detection")
 	}
-	return e.result(), nil
+	return e.resultFrom(e.totals()), nil
+}
+
+// kernelFor returns the kernel owning rank r's events: e.kernel in a
+// sequential run, and the owning shard's kernel in a sharded one.
+// Event handles are arena slots of the kernel that issued them, so a
+// cancel must go through that kernel — cancelling rank r's quantum via
+// another shard's kernel would poison an unrelated arena slot.
+func (e *engine) kernelFor(r int) *sim.Kernel {
+	if e.par == nil {
+		return e.kernel
+	}
+	return e.par.sk.Kernel(e.par.shardOf[r])
 }
 
 // backoff resolves the backoff policy from the config.
@@ -1048,6 +1070,13 @@ func (e *engine) checkTermination() bool {
 	}
 	e.detected = true
 	e.detectedAt = e.kernel.Now()
+	if e.par != nil {
+		// Only serialized windows can decide (the serialization policy
+		// guarantees it), so this single-threaded broadcast of the flag
+		// to the sibling shard engines is race-free; they observe it in
+		// later windows through the barrier's happens-before edge.
+		e.par.markDetected(e.detectedAt)
+	}
 	// Detection happens at the ring initiator — rank 0 for both
 	// detectors unless crashes moved the role to a higher survivor.
 	initr := e.initiator()
@@ -1072,14 +1101,78 @@ func (e *engine) finishRank(r int) {
 	if e.rec != nil && rk.state != rsWorking {
 		e.rec.EndSession(r, now, false)
 	}
-	e.kernel.Cancel(rk.quantum) // no-op when no quantum is pending
+	e.kernelFor(r).Cancel(rk.quantum) // no-op when no quantum is pending
 	rk.quantum = sim.Event{}
 	rk.state = rsDone
 	e.doneCount++
 }
 
-// result assembles the Result after the kernel drains.
-func (e *engine) result() *Result {
+// engineTotals are the engine-global counters a Result needs. A
+// sequential run has exactly one engine, so totals() is the whole
+// story; a sharded run sums one per shard engine with mergeTotals —
+// every field is a plain sum, so the merge is exact, not approximate.
+type engineTotals struct {
+	workSent, workReceived uint64
+	lostMsgs               uint64
+	migDepths              []uint64
+	comm                   comm.Stats
+
+	crashes      int
+	lostNodes    uint64
+	tokenRegens  uint64
+	recoveries   uint64
+	recoverTotal sim.Duration
+}
+
+// totals snapshots this engine's global counters.
+func (e *engine) totals() engineTotals {
+	return engineTotals{
+		workSent:     e.workSent,
+		workReceived: e.workReceived,
+		lostMsgs:     e.lostMsgs,
+		migDepths:    e.migDepths,
+		comm:         e.net.Stats(),
+		crashes:      e.crashes,
+		lostNodes:    e.lostNodes,
+		tokenRegens:  e.tokenRegens,
+		recoveries:   e.recoveries,
+		recoverTotal: e.recoverTotal,
+	}
+}
+
+// mergeTotals sums per-shard engine totals into one.
+func mergeTotals(ts []engineTotals) engineTotals {
+	var m engineTotals
+	for _, t := range ts {
+		m.workSent += t.workSent
+		m.workReceived += t.workReceived
+		m.lostMsgs += t.lostMsgs
+		for len(m.migDepths) < len(t.migDepths) {
+			m.migDepths = append(m.migDepths, 0)
+		}
+		for d, c := range t.migDepths {
+			m.migDepths[d] += c
+		}
+		for tag := range t.comm.Sent {
+			m.comm.Sent[tag] += t.comm.Sent[tag]
+			m.comm.Bytes[tag] += t.comm.Bytes[tag]
+			m.comm.Received[tag] += t.comm.Received[tag]
+			m.comm.Dropped[tag] += t.comm.Dropped[tag]
+			m.comm.Duplicated[tag] += t.comm.Duplicated[tag]
+		}
+		m.crashes += t.crashes
+		m.lostNodes += t.lostNodes
+		m.tokenRegens += t.tokenRegens
+		m.recoveries += t.recoveries
+		m.recoverTotal += t.recoverTotal
+	}
+	return m
+}
+
+// resultFrom assembles the Result after the kernel(s) drain. The
+// per-rank state it walks is shared across shard engines, so any
+// engine of a sharded run can build the result from the merged totals.
+func (e *engine) resultFrom(t engineTotals) *Result {
 	res := &Result{
 		Ranks:     e.cfg.Ranks,
 		Placement: e.cfg.Placement,
@@ -1087,7 +1180,7 @@ func (e *engine) result() *Result {
 		Steal:     e.cfg.Steal,
 		Detector:  e.det.Name(),
 		Makespan:  sim.Duration(e.detectedAt),
-		Comm:      e.net.Stats(),
+		Comm:      t.comm,
 	}
 	var totalSearch sim.Duration
 	var remaining int
@@ -1127,21 +1220,21 @@ func (e *engine) result() *Result {
 		mean := float64(res.Nodes) / float64(e.cfg.Ranks)
 		res.Imbalance = float64(res.MaxRankNodes) / mean
 	}
-	res.MigrationDepths = e.migDepths
-	res.MaxMigrationDepth = len(e.migDepths) - 1
+	res.MigrationDepths = t.migDepths
+	res.MaxMigrationDepth = len(t.migDepths) - 1
 	if res.MaxMigrationDepth < 0 {
 		res.MaxMigrationDepth = 0
 	}
 	res.TerminationRounds = e.det.Rounds()
-	res.Premature = remaining > 0 || e.workSent != e.workReceived+e.lostMsgs
+	res.Premature = remaining > 0 || t.workSent != t.workReceived+t.lostMsgs
 	if e.inj != nil {
-		res.CrashedRanks = e.crashes
-		res.LostNodes = e.lostNodes
-		res.LostMessages = e.lostMsgs
-		res.TokenRegens = e.tokenRegens
-		res.Recoveries = e.recoveries
-		if e.recoveries > 0 {
-			res.MeanRecoveryLatency = e.recoverTotal / sim.Duration(e.recoveries)
+		res.CrashedRanks = t.crashes
+		res.LostNodes = t.lostNodes
+		res.LostMessages = t.lostMsgs
+		res.TokenRegens = t.tokenRegens
+		res.Recoveries = t.recoveries
+		if t.recoveries > 0 {
+			res.MeanRecoveryLatency = t.recoverTotal / sim.Duration(t.recoveries)
 		}
 		res.PerRankFaults = make([]RankFault, e.cfg.Ranks)
 		for i := range e.ranks {

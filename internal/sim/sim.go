@@ -389,6 +389,73 @@ func (k *Kernel) Run() error {
 	return nil
 }
 
+// PeekTime returns the virtual time of the next non-cancelled event and
+// true, or (0, false) when the queue is empty. Cancelled nodes that have
+// surfaced at the heap root are reclaimed on the way, so the call is
+// amortized O(1) and semantically read-only.
+func (k *Kernel) PeekTime() (Time, bool) {
+	for k.live > 0 {
+		idx := k.heap[0].idx
+		n := &k.arena[idx]
+		if n.cancelled {
+			k.popMin()
+			k.freeNode(idx)
+			continue
+		}
+		return n.when, true
+	}
+	return 0, false
+}
+
+// RunUntil dispatches events in virtual-time order while the next event's
+// time is strictly before end, then returns nil with later events left
+// queued. The clock is NOT advanced to end: Now() stays at the last
+// dispatched event so late-scheduled events inside a subsequent window
+// remain valid. Limits behave as in Run: ErrTimeLimit when the next
+// in-window event lies beyond the time limit (event left queued),
+// ErrEventLimit when the dispatch budget is exhausted. RunUntil is the
+// per-window building block of the sharded kernel (sim/par), which owns
+// choosing end so that no cross-shard influence can arrive before it.
+func (k *Kernel) RunUntil(end Time) error {
+	if k.running {
+		return ErrReentrant
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+
+	for k.live > 0 && !k.stopped {
+		idx := k.heap[0].idx
+		n := &k.arena[idx]
+		if n.cancelled {
+			k.popMin()
+			k.freeNode(idx)
+			continue
+		}
+		if n.when >= end {
+			return nil
+		}
+		if n.when > k.maxTime {
+			return ErrTimeLimit
+		}
+		if k.maxEvents != 0 && k.dispatched >= k.maxEvents {
+			return ErrEventLimit
+		}
+		k.popMin()
+		k.now = n.when
+		k.dispatched++
+		k.live--
+		fn, afn, arg := n.fn, n.afn, n.arg
+		k.freeNode(idx)
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
+	}
+	return nil
+}
+
 // Step dispatches the next non-cancelled event, if any, and reports
 // whether one was dispatched. Useful in tests for lock-step inspection.
 // Step honors the same event and time limits as Run: an event that Run

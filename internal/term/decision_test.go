@@ -1,0 +1,92 @@
+package term
+
+import "testing"
+
+// driveTokenTo walks the sends until the token is delivered to `to`
+// with the given idleness, returning the follow-up sends.
+func deliverChain(t *testing.T, d Detector, sends []Send, to int, idleAt func(int) bool) []Send {
+	t.Helper()
+	for len(sends) > 0 {
+		s := sends[0]
+		if len(sends) != 1 {
+			t.Fatalf("expected a single token in flight, got %d", len(sends))
+		}
+		if s.To == to {
+			return d.OnToken(s.To, s.Token, idleAt(s.To))
+		}
+		sends = d.OnToken(s.To, s.Token, idleAt(s.To))
+	}
+	t.Fatalf("token never reached rank %d", to)
+	return nil
+}
+
+// TestIdleDecisionPossible drives both detectors through the states the
+// sharded engine's serialization policy distinguishes: no parked token
+// at the initiator (parallel OK), a white token parked at a white
+// initiator (must serialize — the next OnIdle may decide), and a parked
+// token already ruled out by color (parallel OK, and OnIdle must indeed
+// not decide).
+func TestIdleDecisionPossible(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		f    Factory
+	}{{"Safra", NewSafra}, {"Ring", NewRing}} {
+		t.Run(mk.name, func(t *testing.T) {
+			d := mk.f(3)
+			da := d.(DecisionAware)
+			if da.IdleDecisionPossible(0) {
+				t.Fatal("decision possible before the first round started")
+			}
+			if da.IdleDecisionPossible(1) {
+				t.Fatal("decision reported possible at a non-initiator")
+			}
+
+			// Round 1: everyone idle; the token returns to a busy
+			// initiator and parks. White token, white initiator: the
+			// engine must serialize until it releases.
+			sends := d.OnIdle(0)
+			sends = deliverChain(t, d, sends, 0, func(r int) bool { return r != 0 })
+			if len(sends) != 0 {
+				t.Fatalf("parked token produced sends %v", sends)
+			}
+			if !da.IdleDecisionPossible(0) {
+				t.Fatal("white token parked at white initiator: decision must be flagged possible")
+			}
+			if d.OnIdle(0); !d.Terminated() {
+				t.Fatal("release did not decide termination (sanity: flag was not conservative here)")
+			}
+			if da.IdleDecisionPossible(0) {
+				t.Fatal("decision still flagged after termination")
+			}
+		})
+	}
+}
+
+// TestIdleDecisionRuledOutByColor pins the negative case the policy
+// relies on for speed: a parked token at an initiator tainted black
+// cannot decide, and the flag says so.
+func TestIdleDecisionRuledOutByColor(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		f    Factory
+	}{{"Safra", NewSafra}, {"Ring", NewRing}} {
+		t.Run(mk.name, func(t *testing.T) {
+			d := mk.f(3)
+			da := d.(DecisionAware)
+			sends := d.OnIdle(0)
+			// Work traffic taints the initiator before the token returns.
+			d.WorkSent(1)
+			d.WorkReceived(0)
+			sends = deliverChain(t, d, sends, 0, func(r int) bool { return r != 0 })
+			if len(sends) != 0 {
+				t.Fatalf("parked token produced sends %v", sends)
+			}
+			if da.IdleDecisionPossible(0) {
+				t.Fatal("black initiator flagged as possibly deciding")
+			}
+			if d.OnIdle(0); d.Terminated() {
+				t.Fatal("tainted round decided termination (flag soundness check broken)")
+			}
+		})
+	}
+}
