@@ -11,7 +11,7 @@ ARTIFACTS ?= artifacts
 # corner: the golden ledger the matrix gate compares against.
 SMOKE = $(ARTIFACTS)/smoke
 
-.PHONY: build test vet distwsvet race lint obs-smoke causal-smoke chaos-smoke par-smoke bench-json bench-smoke matrix-smoke matrix-baseline check clean
+.PHONY: build test vet distwsvet race lint obs-smoke causal-smoke chaos-smoke par-smoke parprof-smoke bench-json bench-smoke matrix-smoke matrix-baseline check clean
 
 build:
 	$(GO) build ./...
@@ -105,9 +105,9 @@ chaos-smoke:
 # for archiving and cross-commit comparison. BENCHTIME=1x gives the
 # CI smoke variant below; default is a real measurement.
 BENCHTIME ?= 1s
-BENCH_PKGS = ./internal/sim ./internal/sim/par ./internal/comm ./internal/topology ./internal/uts ./internal/fault .
-BENCH_NAMES = BenchmarkKernelHotPath|BenchmarkShardedKernel|BenchmarkCommSend|BenchmarkLatencyLookup|BenchmarkUTSChildGen|BenchmarkFaultInjection
-BENCH_REQUIRE = KernelHotPath,ShardedKernel/shards=1,ShardedKernel/shards=2,ShardedKernel/shards=4,ShardedKernel/shards=8,CommSend,LatencyLookup,UTSChildGen,FaultInjection/nil-plan,FaultInjection/crashes,FaultInjection/lossy
+BENCH_PKGS = ./internal/sim ./internal/sim/par ./internal/comm ./internal/topology ./internal/uts ./internal/fault ./internal/obs/parprof .
+BENCH_NAMES = BenchmarkKernelHotPath|BenchmarkShardedKernel|BenchmarkCommSend|BenchmarkLatencyLookup|BenchmarkUTSChildGen|BenchmarkFaultInjection|BenchmarkWindowLedger
+BENCH_REQUIRE = KernelHotPath,ShardedKernel/shards=1,ShardedKernel/shards=2,ShardedKernel/shards=4,ShardedKernel/shards=8,CommSend,LatencyLookup,UTSChildGen,FaultInjection/nil-plan,FaultInjection/crashes,FaultInjection/lossy,WindowLedger
 BENCH_RUN = $(GO) test -run '^$$' -bench '$(BENCH_NAMES)' -benchmem \
 	-benchtime $(BENCHTIME) $(BENCH_PKGS)
 
@@ -178,7 +178,31 @@ par-smoke:
 	@cat $(SMOKE)/par.scaling.txt
 	@echo "par-smoke: shards {$(PAR_SHARDS)} byte-identical; scaling table in $(SMOKE)/par.scaling.txt"
 
-check: build lint vet distwsvet test race par-smoke causal-smoke chaos-smoke matrix-smoke
+# parprof-smoke is the window-profiling observer-freedom gate: the same
+# sharded run with and without -parprof must emit byte-identical event
+# traces (profiling reads barrier state, it never perturbs it), the
+# profiled manifest's `par` section must validate under obscheck and
+# print under tracetool -par, and the shards {1,2,4,8} scaling report
+# must land as a JSON artifact for CI upload.
+PARPROF_RUN = $(GO) run ./cmd/uts -tree T3 -ranks 16 -chunk 4 -selector Tofu -seed 5 -shards 4
+parprof-smoke:
+	@mkdir -p $(SMOKE)
+	$(PARPROF_RUN) -trace $(SMOKE)/parprof.off.jsonl > /dev/null
+	$(PARPROF_RUN) -parprof -trace $(SMOKE)/parprof.on.jsonl \
+		-manifest $(SMOKE)/parprof.manifest.json \
+		-parprof-json $(SMOKE)/parprof.scaling.json > $(SMOKE)/parprof.txt
+	@cmp -s $(SMOKE)/parprof.on.jsonl $(SMOKE)/parprof.off.jsonl || \
+		{ echo "parprof-smoke: profiling perturbed the event trace"; exit 1; }
+	@rm -f $(SMOKE)/parprof.off.jsonl $(SMOKE)/parprof.on.jsonl
+	@grep -q "parallel-kernel profile" $(SMOKE)/parprof.txt || \
+		{ echo "parprof-smoke: window profile missing from output"; cat $(SMOKE)/parprof.txt; exit 1; }
+	@grep -q "shard scaling report" $(SMOKE)/parprof.txt || \
+		{ echo "parprof-smoke: scaling report missing from output"; cat $(SMOKE)/parprof.txt; exit 1; }
+	$(GO) run ./cmd/tracetool -in $(SMOKE)/parprof.manifest.json -par
+	$(GO) run ./cmd/obscheck $(SMOKE)/parprof.manifest.json
+	@echo "parprof-smoke: observer-free; profile in $(SMOKE)/parprof.txt, scaling in $(SMOKE)/parprof.scaling.json"
+
+check: build lint vet distwsvet test race par-smoke parprof-smoke causal-smoke chaos-smoke matrix-smoke
 	@echo "check: all gates passed"
 
 clean:

@@ -23,12 +23,15 @@ import (
 	"path/filepath"
 	"runtime/debug"
 	"strings"
+	"time"
 
 	"distws/internal/core"
 	"distws/internal/metrics"
 	"distws/internal/obs"
 	"distws/internal/obs/causal"
 	"distws/internal/obs/ledger"
+	"distws/internal/obs/parprof"
+	"distws/internal/obs/parprof/wallclock"
 	"distws/internal/sim"
 	"distws/internal/term"
 	"distws/internal/topology"
@@ -47,6 +50,9 @@ func main() {
 		nodeCostFlag  = flag.Duration("nodecost", 0, "virtual time per child generation (default 1µs)")
 		seedFlag      = flag.Uint64("seed", 1, "random seed")
 		shardsFlag    = flag.Int("shards", 1, "parallel simulation shards (conservative time windows; 1 = sequential kernel)")
+		parprofFlag   = flag.Bool("parprof", false, "profile the parallel kernel: window ledger, serialization causes, and a shard scaling report")
+		parwallFlag   = flag.Bool("parwall", false, "with -parprof and -shards > 1: add the wall-clock busy/barrier-wait profile (host-dependent)")
+		parJSONFlag   = flag.String("parprof-json", "", "with -parprof: write the shard scaling report as JSON to this file")
 		detFlag       = flag.String("termination", "Safra", "termination detector: Safra|Ring")
 		traceFlag     = flag.String("trace", "", "write the activity trace + event log (JSONL) to this file")
 		chromeFlag    = flag.String("chrome", "", "write a Chrome trace-event JSON file (open in Perfetto)")
@@ -144,9 +150,21 @@ func main() {
 		Metrics:       reg,
 		Faults:        plan,
 		Shards:        *shardsFlag,
+		ParProfile:    *parprofFlag,
 	}
 	if err := checkShards(*shardsFlag, *ranksFlag); err != nil {
 		fatalf("%v", err)
+	}
+	if *parwallFlag && !*parprofFlag {
+		fatalf("-parwall requires -parprof")
+	}
+	if *parJSONFlag != "" && !*parprofFlag {
+		fatalf("-parprof-json requires -parprof")
+	}
+	var wallProf *wallclock.Profile
+	if *parwallFlag && *shardsFlag > 1 {
+		wallProf = wallclock.New(*shardsFlag)
+		cfg.ParWallProbe = wallProf
 	}
 	res, err := core.Run(cfg)
 	if err != nil {
@@ -217,6 +235,7 @@ func main() {
 		// aggregates land in the metrics registry (outside core.Run, so
 		// the engine's own exposition is untouched).
 		var chromeOpts obs.ChromeOptions
+		chromeOpts.ParWindows = parprof.ChromeWindows(res.Par)
 		if res.Trace.Events != nil {
 			g := causal.Build(res.Trace)
 			p := causal.CriticalPath(g)
@@ -237,6 +256,33 @@ func main() {
 		if *chromeFlag != "" {
 			writeFile(*chromeFlag, func(w io.Writer) error { return obs.WriteChromeTraceOpts(w, res.Trace, chromeOpts) })
 			fmt.Printf("  chrome trace:    %s (load at ui.perfetto.dev)\n", *chromeFlag)
+		}
+	}
+
+	// Parallel-kernel profiling rides outside core.Run, exactly like the
+	// causal analyses: the ledger is read from the Result, the sim_par_*
+	// metrics publish into the registry only here, and the scaling runs
+	// are fresh stripped executions — the primary run's artifacts stay
+	// byte-identical to an unprofiled run's.
+	if *parprofFlag {
+		parprof.Publish(reg, res.Par)
+		fmt.Printf("\n")
+		if err := res.Par.WriteText(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		if wallProf != nil {
+			if err := wallProf.WriteText(os.Stdout); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		sc := runScaling(cfg)
+		fmt.Printf("\n")
+		if err := sc.WriteText(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		if *parJSONFlag != "" {
+			writeFile(*parJSONFlag, sc.WriteJSON)
+			fmt.Printf("  scaling json:    %s\n", *parJSONFlag)
 		}
 	}
 
@@ -321,6 +367,40 @@ func writeFile(path string, write func(io.Writer) error) {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
+}
+
+// scalingShards is the shard ladder the scaling report walks.
+var scalingShards = []int{1, 2, 4, 8}
+
+// runScaling re-runs the configuration across the shard ladder (capped
+// at the rank count), wall-timing each run. Every ladder run is
+// stripped of tracing, metrics, and the wall probe so the wall columns
+// compare like with like; the virtual columns are deterministic. The
+// host-clock reads live here in package main — the engine itself never
+// touches wall time (cmd/distwsvet enforces that).
+func runScaling(cfg core.Config) parprof.Scaling {
+	var sc parprof.Scaling
+	for _, s := range scalingShards {
+		if s > cfg.Ranks {
+			break
+		}
+		c := cfg
+		c.Shards = s
+		c.ParProfile = true
+		c.ParWallProbe = nil
+		c.CollectTrace, c.CollectEvents, c.EventBuffer = false, false, 0
+		c.Metrics = nil
+		start := time.Now()
+		r, err := core.Run(c)
+		if err != nil {
+			// A ladder point can be invalid (e.g. a fault plan that cannot
+			// shard); report it and keep the rest of the table.
+			fmt.Fprintf(os.Stderr, "uts: scaling run at %d shard(s): %v\n", s, err)
+			continue
+		}
+		sc.Rows = append(sc.Rows, parprof.RowFrom(s, r.Makespan, r.Par, time.Since(start).Seconds()))
+	}
+	return sc
 }
 
 // checkShards validates the -shards flag before the run starts. The

@@ -21,6 +21,7 @@ import (
 	"distws/internal/fault"
 	"distws/internal/obs"
 	"distws/internal/sim"
+	"distws/internal/sim/par"
 	"distws/internal/term"
 	"distws/internal/topology"
 	"distws/internal/uts"
@@ -175,6 +176,24 @@ type Config struct {
 	// need the send-path interposer (link faults, straggler send
 	// multipliers).
 	Shards int
+
+	// ParProfile enables the parallel-kernel window ledger
+	// (internal/obs/parprof): Result.Par records every conservative time
+	// window with its serialization cause and barrier traffic. Recording
+	// happens only at window barriers (coordinator context, workers
+	// quiescent), so a profiled run is byte-identical to an unprofiled
+	// one — traces, metrics, and results never change (observer freedom,
+	// asserted by tests). With Shards <= 1 the ledger is the empty
+	// sequential degenerate (no windows). The engine never publishes the
+	// ledger to Config.Metrics; callers opt in via parprof.Publish.
+	ParProfile bool
+
+	// ParWallProbe, when non-nil and Shards > 1, receives wall-clock
+	// window callbacks (par.WallProbe) for the busy/barrier-wait profile
+	// in parprof/wallclock. Wall readings flow only outward into
+	// diagnostics, never into the simulation, so the run stays
+	// bit-deterministic. Ignored by the sequential kernel.
+	ParWallProbe par.WallProbe
 
 	// Seed drives every random choice of the run.
 	Seed uint64

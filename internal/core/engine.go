@@ -6,6 +6,7 @@ import (
 	"distws/internal/comm"
 	"distws/internal/fault"
 	"distws/internal/obs"
+	"distws/internal/obs/parprof"
 	"distws/internal/sim"
 	"distws/internal/term"
 	"distws/internal/topology"
@@ -280,6 +281,14 @@ type Result struct {
 
 	// Trace is the activity trace, when Config.CollectTrace was set.
 	Trace *trace.Trace
+
+	// Par is the parallel-kernel window ledger, when Config.ParProfile
+	// was set (nil otherwise). For sequential runs (Shards <= 1) it is
+	// the empty degenerate ledger: one shard, no windows. The ledger is
+	// excluded from every determinism artifact the engine emits — the
+	// golden registry dumps and observer-freedom comparisons never see
+	// it — but is itself bit-deterministic for a fixed (Config, Shards).
+	Par *parprof.Ledger
 }
 
 // RankFault is one rank's row in the fault table.
@@ -403,7 +412,13 @@ func Run(cfg Config) (*Result, error) {
 	if !e.detected {
 		return nil, fmt.Errorf("core: event queue drained without termination detection")
 	}
-	return e.resultFrom(e.totals()), nil
+	res := e.resultFrom(e.totals())
+	if cfg.ParProfile {
+		// Sequential degenerate: one shard, no windows. Documents the
+		// run's shape so profiling tooling needs no special casing.
+		res.Par = parprof.New(1, 0)
+	}
+	return res, nil
 }
 
 // kernelFor returns the kernel owning rank r's events: e.kernel in a

@@ -46,6 +46,7 @@ import (
 	"distws/internal/comm"
 	"distws/internal/fault"
 	"distws/internal/obs"
+	"distws/internal/obs/parprof"
 	"distws/internal/sim"
 	"distws/internal/sim/par"
 	"distws/internal/term"
@@ -90,6 +91,14 @@ type parShared struct {
 	// serializes any window in which one is due.
 	notes   [][]sim.Time
 	pending []sim.Time
+
+	// prof, when non-nil, is the window ledger (Config.ParProfile);
+	// cause carries the current window's serialization cause from the
+	// Serialize decision to the OnWindow record. Both live purely in
+	// coordinator context — recording never touches simulation state, so
+	// a profiled run is byte-identical to an unprofiled one.
+	prof  *parprof.Ledger
+	cause parprof.Cause
 }
 
 // markDetected broadcasts the termination verdict to every shard
@@ -140,8 +149,17 @@ func (ps *parShared) router(s int) func(*comm.Message, sim.Duration) bool {
 }
 
 // serializeWindow is the coordinator's per-window policy hook; see the
-// package comment for the trigger list.
+// package comment for the trigger list. The decision's cause is latched
+// in ps.cause for the OnWindow ledger record.
 func (ps *parShared) serializeWindow(start, end sim.Time) bool {
+	ps.cause = ps.windowCause(start, end)
+	return ps.cause.Serialized()
+}
+
+// windowCause evaluates the serialization triggers in decision order
+// and names the first that fires (parprof's cause taxonomy), or
+// CauseNone for a window that may run parallel.
+func (ps *parShared) windowCause(start, end sim.Time) parprof.Cause {
 	for s := range ps.notes {
 		ps.pending = append(ps.pending, ps.notes[s]...)
 		ps.notes[s] = ps.notes[s][:0]
@@ -162,15 +180,15 @@ func (ps *parShared) serializeWindow(start, end sim.Time) bool {
 	ps.init = e0.initiator()
 	switch {
 	case ps.da == nil:
-		return true
+		return parprof.CauseDetector
 	case e0.inj != nil && ((ps.haveCrash && end > ps.firstCrash) || e0.detected):
-		return true
+		return parprof.CauseCrashPlan
 	case tokenDue:
-		return true
+		return parprof.CauseTokenDue
 	case ps.da.IdleDecisionPossible(ps.init):
-		return true
+		return parprof.CauseIdleDecision
 	}
-	return false
+	return parprof.CauseNone
 }
 
 // runSharded executes cfg across cfg.Shards window-synchronized shard
@@ -307,11 +325,28 @@ func runSharded(cfg Config, job *topology.Job) (*Result, error) {
 		engines[shardOf[r]].goIdle(r)
 	}
 
+	if cfg.ParProfile {
+		ps.prof = parprof.New(shards, lookahead)
+	}
 	hooks := par.Hooks{
 		Serialize: ps.serializeWindow,
-		OnWindow: func(_, _ sim.Time, serialized bool) {
-			ps.serialized = serialized
+		OnWindow: func(info par.WindowInfo) {
+			ps.serialized = info.Serialized
+			if ps.prof == nil {
+				return
+			}
+			cause := parprof.CauseNone
+			if info.Serialized {
+				// ps.cause was latched by serializeWindow for this
+				// window; CauseCallerForced is the defensive fallback
+				// for par users whose Serialize bypasses the policy.
+				if cause = ps.cause; cause == parprof.CauseNone {
+					cause = parprof.CauseCallerForced
+				}
+			}
+			ps.prof.Record(info.Start, info.End, cause, info.Merged, info.Pairs)
 		},
+		Wall: cfg.ParWallProbe,
 	}
 	if err := sk.Run(hooks); err != nil {
 		return nil, fmt.Errorf("core: sharded simulation (%d shards) aborted: %w", shards, err)
@@ -323,5 +358,7 @@ func runSharded(cfg Config, job *topology.Job) (*Result, error) {
 	for s, e := range engines {
 		totals[s] = e.totals()
 	}
-	return e0.resultFrom(mergeTotals(totals)), nil
+	res := e0.resultFrom(mergeTotals(totals))
+	res.Par = ps.prof
+	return res, nil
 }

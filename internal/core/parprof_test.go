@@ -1,0 +1,203 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"distws/internal/fault"
+	"distws/internal/obs"
+	"distws/internal/obs/parprof"
+	"distws/internal/sim"
+	"distws/internal/term"
+	"distws/internal/topology"
+	"distws/internal/uts"
+	"distws/internal/victim"
+)
+
+// runProfiled executes cfg with ParProfile on and a fresh registry,
+// returning the canonical golden dump plus the recorded window ledger.
+// The ledger is identity-checked on every call: each window must carry
+// exactly one cause, and the per-cause virtual-time shares must
+// partition the serialized totals.
+func runProfiled(t *testing.T, cfg Config) ([]byte, *parprof.Ledger) {
+	t.Helper()
+	cfg.ParProfile = true
+	cfg.Metrics = obs.NewRegistry()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Par == nil {
+		t.Fatal("ParProfile run returned no ledger")
+	}
+	if err := res.Par.CheckIdentities(); err != nil {
+		t.Fatal(err)
+	}
+	return goldenDump(res, cfg.Metrics), res.Par
+}
+
+// ledgerDump renders every byte of ledger state — per-window rows,
+// pair matrices, aggregate totals, the traffic matrix — so repeat-run
+// comparisons assert bit-determinism of the profile itself, not just
+// of its aggregates.
+func ledgerDump(l *parprof.Ledger) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "shards=%d lookahead=%d\n", l.Shards(), int64(l.Lookahead()))
+	for i, w := range l.Windows() {
+		fmt.Fprintf(&buf, "w%d %d..%d cause=%s merged=%d pairs=%v\n",
+			i, int64(w.Start), int64(w.End), w.Cause, w.Merged, l.Pairs(i))
+	}
+	fmt.Fprintf(&buf, "totals=%+v traffic=%v\n", l.Totals(), l.Traffic())
+	l.WriteText(&buf)
+	return buf.Bytes()
+}
+
+// TestParProfileObserverFreedom is the tentpole acceptance check:
+// profiling a sharded run must not perturb it. The golden Figure 9
+// configuration at 2 and 4 shards produces a byte-identical canonical
+// dump (results, trace, event log, Prometheus exposition) with and
+// without ParProfile — recording happens at barriers, in coordinator
+// context, and sim_par_* metrics only exist via parprof.Publish
+// outside Run.
+func TestParProfileObserverFreedom(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		cfg := goldenFig9Config()
+		cfg.Shards = shards
+		want := runDump(t, cfg)
+		got, l := runProfiled(t, cfg)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("shards=%d: profiling perturbed the run\n%s",
+				shards, diffHint(want, got))
+		}
+		if l.Shards() != shards || l.Lookahead() <= 0 {
+			t.Fatalf("shards=%d: ledger shape = %d shards, lookahead %v",
+				shards, l.Shards(), l.Lookahead())
+		}
+		if tot := l.Totals(); tot.Windows == 0 || tot.Staged == 0 {
+			t.Fatalf("shards=%d: profiled run recorded no activity: %+v", shards, tot)
+		}
+	}
+}
+
+// TestParProfileSequentialRun pins the degenerate ledger: the
+// sequential kernel has no windows, so a profiled shards<=1 run
+// returns the documented empty single-shard ledger — and stays
+// byte-identical to the unprofiled sequential run.
+func TestParProfileSequentialRun(t *testing.T) {
+	cfg := goldenFig9Config()
+	want := runDump(t, cfg)
+	got, l := runProfiled(t, cfg)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("profiling perturbed the sequential run\n%s", diffHint(want, got))
+	}
+	if l.Shards() != 1 || l.Lookahead() != 0 {
+		t.Fatalf("sequential ledger shape: %d shards, lookahead %v", l.Shards(), l.Lookahead())
+	}
+	if len(l.Windows()) != 0 || l.SerializedShare() != 0 {
+		t.Fatalf("sequential ledger is not empty: %d windows", len(l.Windows()))
+	}
+}
+
+// noDecision hides a detector's term.DecisionAware implementation, so
+// the sharded engine can never prove a window decision-free.
+type noDecision struct{ term.Detector }
+
+// TestParProfileAllSerialized covers the all-serialized edge: with a
+// decision-blind detector every window must serialize under
+// CauseDetector, the parallel share must be exactly zero — and the run
+// must still match the sequential engine byte for byte (serialized
+// windows are the fallback that makes any detector shardable).
+func TestParProfileAllSerialized(t *testing.T) {
+	base := Config{
+		Tree:          uts.MustPreset("H-TINY").Params,
+		Ranks:         32,
+		Placement:     topology.OnePerNode,
+		Selector:      victim.NewRoundRobin,
+		Steal:         StealOne,
+		Seed:          5,
+		Detector:      func(n int) term.Detector { return noDecision{term.NewSafra(n)} },
+		CollectTrace:  true,
+		CollectEvents: true,
+	}
+	want := runDump(t, base)
+	cfg := base
+	cfg.Shards = 4
+	got, l := runProfiled(t, cfg)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("all-serialized sharded run diverged from sequential\n%s", diffHint(want, got))
+	}
+	tot := l.Totals()
+	if tot.Windows == 0 || tot.Serialized != tot.Windows || tot.Parallel != 0 {
+		t.Fatalf("decision-blind run not fully serialized: %+v", tot)
+	}
+	if tot.ByCause[parprof.CauseDetector].Windows != tot.Windows {
+		t.Fatalf("windows not attributed to detector-decision: %+v", tot.ByCause)
+	}
+	if l.SerializedShare() != 1 {
+		t.Fatalf("SerializedShare = %v, want 1", l.SerializedShare())
+	}
+}
+
+// TestParProfileCrashCause checks the crash-plan attribution: a
+// sharded crash run serializes every window from the first crash
+// onward, and the ledger blames those windows on crash-plan, not on
+// the routine token traffic.
+func TestParProfileCrashCause(t *testing.T) {
+	cfg := Config{
+		Tree:      uts.MustPreset("H-TINY").Params,
+		Ranks:     64,
+		Placement: topology.OnePerNode,
+		Selector:  victim.NewRoundRobin,
+		Steal:     StealOne,
+		Seed:      7,
+		Shards:    4,
+		Faults: &fault.Plan{
+			Seed: 3,
+			Crashes: []fault.Crash{
+				{Rank: 5, At: sim.Time(40 * sim.Microsecond)},
+				{Rank: 41, At: sim.Time(90 * sim.Microsecond)},
+			},
+		},
+	}
+	_, l := runProfiled(t, cfg)
+	tot := l.Totals()
+	if tot.ByCause[parprof.CauseCrashPlan].Windows == 0 {
+		t.Fatalf("crash run attributed no windows to crash-plan: %+v", tot.ByCause)
+	}
+	// From the first crash time onward every window serializes: the last
+	// window must not be parallel.
+	ws := l.Windows()
+	if last := ws[len(ws)-1]; !last.Serialized() {
+		t.Fatalf("final window of a crash run ran parallel: %+v", last)
+	}
+}
+
+// TestParProfileRepeatByteDeterminism pins bit-determinism of the
+// ledger itself on the adversarial dense-placement configuration: a
+// fixed (config, seed, shards) triple must reproduce every window row,
+// pair matrix, and aggregate byte-for-byte across repetitions.
+func TestParProfileRepeatByteDeterminism(t *testing.T) {
+	cfg := Config{
+		Tree:          uts.MustPreset("H-TINY").Params,
+		Ranks:         96,
+		Placement:     topology.EightRoundRobin,
+		Selector:      victim.NewDistanceSkewed,
+		Steal:         StealHalf,
+		Seed:          42,
+		Shards:        4,
+		CollectTrace:  true,
+		CollectEvents: true,
+	}
+	dump, l := runProfiled(t, cfg)
+	first, firstLedger := dump, ledgerDump(l)
+	for run := 2; run <= 3; run++ {
+		dump, l := runProfiled(t, cfg)
+		if !bytes.Equal(dump, first) {
+			t.Fatalf("run %d dump differed from run 1\n%s", run, diffHint(first, dump))
+		}
+		if got := ledgerDump(l); !bytes.Equal(got, firstLedger) {
+			t.Fatalf("run %d ledger differed from run 1\n%s", run, diffHint(firstLedger, got))
+		}
+	}
+}

@@ -88,6 +88,11 @@ func cellID(tree string, ranks int, variant string, chaos bool) string {
 	return id
 }
 
+// matrixParShards is the shard count of the matrix's profiled sharded
+// cell: large enough for real cross-shard traffic, small enough that
+// every scale's rank counts can host it.
+const matrixParShards = 4
+
 // matrixCells builds the fault-free grid in presentation order.
 func matrixCells(opt MatrixOptions) []matrixCell {
 	tree := matrixTree(opt.Scale)
@@ -140,6 +145,21 @@ func RunMatrix(opt MatrixOptions) ([]*ledger.Manifest, error) {
 			Ranks: chaosRanks, Placement: topology.OnePerNode, Tree: params,
 			NodeCost: experimentNodeCost, Trace: true, Events: true,
 			Seed: opt.Seed, Faults: plan,
+		},
+	})
+
+	// One sharded, window-profiled cell: its manifest carries the `par`
+	// section, so the tolerance gate tracks the serialized-window share
+	// (and the par schema itself round-trips through the baseline).
+	parID := cellID(tree, chaosRanks, Tofu.Name, false) + fmt.Sprintf("-par%d", matrixParShards)
+	cells = append(cells, matrixCell{
+		id:   parID,
+		tree: tree,
+		run: Run{
+			Label: parID, Variant: Tofu,
+			Ranks: chaosRanks, Placement: topology.OnePerNode, Tree: params,
+			NodeCost: experimentNodeCost, Trace: true, Events: true,
+			Seed: opt.Seed, Shards: matrixParShards, ParProfile: true,
 		},
 	})
 

@@ -57,7 +57,8 @@ func TestMatrixGatesItself(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	wantCells := len(matrixRanks(Quick))*len(matrixVariants) + 1
+	// Fault-free grid + the chaos cell + the sharded profiled cell.
+	wantCells := len(matrixRanks(Quick))*len(matrixVariants) + 2
 	if len(ms) != wantCells {
 		t.Fatalf("matrix produced %d cells, want %d", len(ms), wantCells)
 	}
@@ -65,17 +66,28 @@ func TestMatrixGatesItself(t *testing.T) {
 	for _, m := range ms {
 		ids[m.ID] = true
 	}
-	for _, want := range []string{"h-tiny-16-reference", "h-tiny-32-rand", "h-tiny-32-tofu-chaos"} {
+	for _, want := range []string{"h-tiny-16-reference", "h-tiny-32-rand", "h-tiny-32-tofu-chaos", "h-tiny-32-tofu-par4"} {
 		if !ids[want] {
 			t.Errorf("matrix is missing cell %q (have %v)", want, ids)
 		}
 	}
-	chaos := ms[len(ms)-1]
+	chaos := ms[len(ms)-2]
 	if chaos.Spec.FaultPlanHash == "" {
 		t.Error("chaos cell has no fault plan hash")
 	}
 	if chaos.Result.LostNodes == 0 && chaos.Result.CrashedRanks == 0 {
 		t.Error("chaos cell shows no fault effects")
+	}
+	par := ms[len(ms)-1]
+	if par.Par == nil {
+		t.Fatal("par cell has no parallel-kernel profile")
+	}
+	if par.Spec.Shards != matrixParShards || par.Par.Shards != matrixParShards {
+		t.Errorf("par cell shards: spec %d, profile %d, want %d",
+			par.Spec.Shards, par.Par.Shards, matrixParShards)
+	}
+	if par.Par.Windows == 0 || par.Par.Staged == 0 {
+		t.Errorf("par cell profile is empty: %+v", par.Par)
 	}
 
 	dir := t.TempDir()

@@ -70,6 +70,11 @@ type Run struct {
 	Latency topology.LatencyModel
 	// Faults injects a deterministic fault plan when set (chaos runs).
 	Faults *fault.Plan
+	// Shards runs the simulation on the sharded parallel kernel when > 1.
+	Shards int
+	// ParProfile records the parallel-kernel window ledger into the
+	// result (core.Config.ParProfile).
+	ParProfile bool
 }
 
 // config materializes the core.Config for a run.
@@ -95,6 +100,8 @@ func (r Run) config() core.Config {
 		StealTimeout:  r.StealTimeout,
 		Latency:       r.Latency,
 		Faults:        r.Faults,
+		Shards:        r.Shards,
+		ParProfile:    r.ParProfile,
 	}
 	switch {
 	case r.Backoff != (core.Backoff{}):

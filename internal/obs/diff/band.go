@@ -106,6 +106,9 @@ type Tolerances struct {
 	BlameShare Band
 	// LostNodes bounds fault-cell work-loss drift.
 	LostNodes Band
+	// SerializedShare bounds the absolute shift of the parallel kernel's
+	// serialized-window share (profiled cells only).
+	SerializedShare Band
 }
 
 // DefaultTolerances is the matrix gate's committed policy (documented
@@ -119,6 +122,7 @@ func DefaultTolerances() Tolerances {
 		CriticalShare:    Band{Abs: 0.05},
 		BlameShare:       Band{Abs: 0.05},
 		LostNodes:        Band{Rel: 0.25, Abs: 64},
+		SerializedShare:  Band{Abs: 0.05},
 	}
 }
 
@@ -180,5 +184,15 @@ func GateManifests(g *Gate, id string, base, got *ledger.Manifest, t Tolerances)
 
 	if base.Result.LostNodes != 0 || got.Result.LostNodes != 0 {
 		g.Check(id+"/lost_nodes", t.LostNodes, float64(base.Result.LostNodes), float64(got.Result.LostNodes))
+	}
+
+	if base.Par != nil && got.Par != nil {
+		pshare := func(p *ledger.ParSummary) float64 {
+			if p.Windows == 0 {
+				return 0
+			}
+			return float64(p.Serialized) / float64(p.Windows)
+		}
+		g.Check(id+"/par_serialized_share", t.SerializedShare, pshare(base.Par), pshare(got.Par))
 	}
 }

@@ -1,0 +1,157 @@
+package diff
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"distws/internal/core"
+	"distws/internal/obs/ledger"
+	"distws/internal/topology"
+	"distws/internal/uts"
+	"distws/internal/victim"
+)
+
+// parManifest runs the T3 grid cell sharded and profiled, so the
+// manifest carries a par section to diff.
+func parManifest(t *testing.T, id string, seed uint64) *ledger.Manifest {
+	t.Helper()
+	cfg := core.Config{
+		Tree:          uts.MustPreset("T3").Params,
+		Ranks:         16,
+		Placement:     topology.OnePerNode,
+		Selector:      victim.NewDistanceSkewed,
+		Seed:          seed,
+		ChunkSize:     4,
+		Shards:        4,
+		ParProfile:    true,
+		CollectTrace:  true,
+		CollectEvents: true,
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ledger.SpecFromConfig("T3", "", cfg)
+	spec.Selector = "Tofu"
+	m := ledger.FromRun(id, spec, res)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("manifest %s invalid: %v", id, err)
+	}
+	return m
+}
+
+// TestParDiffSelfZero: the par delta of a run against itself is zero
+// in every scalar and cause row, and still passes the diff identities.
+func TestParDiffSelfZero(t *testing.T) {
+	a := parManifest(t, "self", 5)
+	b := parManifest(t, "self", 5)
+	d := Compute(a, b)
+	if err := d.CheckIdentities(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Par == nil {
+		t.Fatal("diff of two profiled runs has no par section")
+	}
+	if !d.Zero() {
+		var buf bytes.Buffer
+		d.WriteText(&buf)
+		t.Fatalf("self-diff of a profiled run is not zero:\n%s", buf.String())
+	}
+	if d.Par.SerializedShareA != d.Par.SerializedShareB {
+		t.Errorf("self-diff shifted the serialized share: %v -> %v",
+			d.Par.SerializedShareA, d.Par.SerializedShareB)
+	}
+
+	// A profiled run diffed against an unprofiled one has no par delta.
+	cfg := Compute(a, runManifest(t, "plain", "Tofu", victim.NewDistanceSkewed, 5))
+	if cfg.Par != nil {
+		t.Error("par delta computed with only one profiled side")
+	}
+}
+
+// TestParDiffAttribution: two profiled runs at different seeds shift
+// the window ledger; the delta's cause rows must sum to the serialized
+// shift (the diff identity), and the text report must name the
+// serialized-window share and the leading cause.
+func TestParDiffAttribution(t *testing.T) {
+	a := parManifest(t, "seed5", 5)
+	b := parManifest(t, "seed9", 9)
+	d := Compute(a, b)
+	if err := d.CheckIdentities(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Par == nil {
+		t.Fatal("no par delta")
+	}
+	if d.Par.ShardsA != 4 || d.Par.ShardsB != 4 {
+		t.Fatalf("par delta shards = %d -> %d", d.Par.ShardsA, d.Par.ShardsB)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"parallel kernel", "serialized-window share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("par report missing %q:\n%s", want, out)
+		}
+	}
+	if cause, _ := d.Par.TopCause(); cause != "" &&
+		!strings.Contains(out, "leading cause of the shift: "+cause) {
+		t.Errorf("report does not name top cause %q:\n%s", cause, out)
+	}
+}
+
+// TestParGateSerializedShare: the tolerance gate bounds the
+// serialized-window share when both manifests are profiled, and an
+// out-of-band shift trips it.
+func TestParGateSerializedShare(t *testing.T) {
+	a := parManifest(t, "gate", 5)
+	b := parManifest(t, "gate", 5)
+	tol := DefaultTolerances()
+
+	g := &Gate{}
+	GateManifests(g, a.ID, a, b, tol)
+	if !g.OK() {
+		var buf bytes.Buffer
+		g.Report(&buf)
+		t.Fatalf("identical profiled runs fail the gate:\n%s", buf.String())
+	}
+	// The share check only exists when both sides are profiled: strip
+	// the par sections and the checked-metric count must drop by one.
+	aPlain, bPlain := *a, *b
+	aPlain.Par, bPlain.Par = nil, nil
+	plain := &Gate{}
+	GateManifests(plain, a.ID, &aPlain, &bPlain, tol)
+	if g.Checked != plain.Checked+1 {
+		t.Fatalf("profiled gate checked %d metrics, unprofiled %d; want exactly one more",
+			g.Checked, plain.Checked)
+	}
+
+	// Shift the share beyond the ±5pp band: every parallel window
+	// becomes a serialized one (cause rows adjusted to keep the
+	// manifest internally consistent).
+	extra := b.Par.Windows - b.Par.Serialized
+	b.Par.Causes = append(b.Par.Causes, ledger.ParCause{
+		Cause: "caller-forced", Windows: extra, VirtualNS: b.Par.ParallelNS,
+	})
+	b.Par.Serialized = b.Par.Windows
+	b.Par.SerializedNS += b.Par.ParallelNS
+	b.Par.ParallelNS = 0
+	if err := b.Validate(); err != nil {
+		t.Fatalf("perturbed manifest no longer validates: %v", err)
+	}
+	g = &Gate{}
+	GateManifests(g, a.ID, a, b, tol)
+	if g.OK() {
+		t.Fatal("all-serialized shift stayed inside the ±5pp share band")
+	}
+	var buf bytes.Buffer
+	if err := g.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "par_serialized_share") {
+		t.Errorf("gate report does not name the share check:\n%s", buf.String())
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"distws/internal/fault"
 	"distws/internal/obs"
 	"distws/internal/obs/causal"
+	"distws/internal/obs/parprof"
 	"distws/internal/sim"
 	"distws/internal/trace"
 )
@@ -63,6 +64,9 @@ type Spec struct {
 	// Scale labels the harness fidelity (quick|default|full) when the
 	// run came from an experiment grid; free-standing runs leave it "".
 	Scale string `json:"scale,omitempty"`
+	// Shards records the parallel-kernel shard count when > 1 (omitted
+	// for sequential runs, so their fingerprints are unchanged).
+	Shards int `json:"shards,omitempty"`
 	// FaultPlanHash commits to the exact injected adversity; "" for
 	// fault-free runs.
 	FaultPlanHash string `json:"fault_plan_hash,omitempty"`
@@ -176,6 +180,44 @@ type BlameSummary struct {
 	Total   BlameEntry   `json:"total"`
 }
 
+// ParCause is one serialization cause's row in the parallel-kernel
+// profile: how many windows it serialized and how much virtual time
+// those windows spanned.
+type ParCause struct {
+	Cause     string `json:"cause"`
+	Windows   uint64 `json:"windows"`
+	VirtualNS int64  `json:"virtual_ns"`
+}
+
+// ParSummary is the parallel-kernel window profile (internal/obs/
+// parprof), present when the run was profiled (core.Config.ParProfile).
+// Everything here is virtual-time data: byte-deterministic for a fixed
+// (Config, Shards). Identities checked by Validate: the cause rows
+// partition the serialized totals, ParallelNS + SerializedNS spans all
+// windows, and the traffic matrix sums to Staged.
+type ParSummary struct {
+	Shards      int   `json:"shards"`
+	LookaheadNS int64 `json:"lookahead_ns"`
+
+	Windows    uint64 `json:"windows"`
+	Serialized uint64 `json:"serialized"`
+	Staged     uint64 `json:"staged"`
+	// ParallelNS / SerializedNS split the windowed virtual time
+	// (Windows × LookaheadNS) by execution mode.
+	ParallelNS   int64 `json:"parallel_ns"`
+	SerializedNS int64 `json:"serialized_ns"`
+
+	// Causes lists the serialization causes with nonzero windows, in the
+	// engine's decision order.
+	Causes []ParCause `json:"causes,omitempty"`
+
+	// Traffic is the shard×shard staged-message matrix (source-major),
+	// the shard-level analogue of the manifest's rank traffic matrix.
+	// The diagonal is nonzero by design: same-shard sends due beyond
+	// the window also route through the barrier merge.
+	Traffic [][]uint64 `json:"traffic,omitempty"`
+}
+
 // StealSummary holds the reconstructed steal-transaction statistics.
 type StealSummary struct {
 	Count      int   `json:"count"`
@@ -208,6 +250,9 @@ type Manifest struct {
 	// Traffic is the rank×rank message matrix (sender-major), present
 	// when the run recorded events and Ranks <= TrafficRankLimit.
 	Traffic [][]uint64 `json:"traffic,omitempty"`
+	// Par is the parallel-kernel window profile, present when the run
+	// was profiled (core.Config.ParProfile).
+	Par *ParSummary `json:"par,omitempty"`
 }
 
 // FromRun builds the manifest for one completed run. The build only
@@ -263,7 +308,37 @@ func FromRun(id string, spec Spec, res *core.Result) *Manifest {
 	if res.Trace != nil {
 		attachTrace(m, res.Trace)
 	}
+	if res.Par != nil {
+		m.Par = parSummary(res.Par)
+	}
 	return m
+}
+
+// parSummary converts a window ledger into the manifest section.
+func parSummary(l *parprof.Ledger) *ParSummary {
+	t := l.Totals()
+	p := &ParSummary{
+		Shards:       l.Shards(),
+		LookaheadNS:  int64(l.Lookahead()),
+		Windows:      t.Windows,
+		Serialized:   t.Serialized,
+		Staged:       t.Staged,
+		ParallelNS:   int64(t.Parallel),
+		SerializedNS: int64(t.SerializedTime),
+	}
+	for c := parprof.CauseNone + 1; c < parprof.NumCauses; c++ {
+		ct := t.ByCause[c]
+		if ct.Windows == 0 {
+			continue
+		}
+		p.Causes = append(p.Causes, ParCause{
+			Cause: c.String(), Windows: ct.Windows, VirtualNS: int64(ct.Virtual),
+		})
+	}
+	if t.Staged > 0 {
+		p.Traffic = l.Traffic()
+	}
+	return p
 }
 
 // FromTrace builds a partial manifest from a saved trace alone: the
@@ -351,6 +426,9 @@ func SpecFromConfig(tree, scale string, cfg core.Config) Spec {
 		Scale:         scale,
 		FaultPlanHash: PlanHash(cfg.Faults),
 	}
+	if cfg.Shards > 1 {
+		s.Shards = cfg.Shards
+	}
 	if cfg.Protocol != core.TwoSided {
 		s.Protocol = cfg.Protocol.String()
 	}
@@ -434,6 +512,69 @@ func (m *Manifest) Validate() error {
 				return fmt.Errorf("ledger: traffic row %d has %d columns for %d ranks",
 					i, len(row), m.Spec.Ranks)
 			}
+		}
+	}
+	if m.Par != nil {
+		if err := m.Par.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks the parallel-kernel profile's internal identities.
+func (p *ParSummary) validate() error {
+	if p.Shards < 1 {
+		return fmt.Errorf("ledger: par section has %d shards", p.Shards)
+	}
+	if p.LookaheadNS < 0 {
+		return fmt.Errorf("ledger: par section has negative lookahead %d", p.LookaheadNS)
+	}
+	if p.Serialized > p.Windows {
+		return fmt.Errorf("ledger: par section has %d serialized of %d windows",
+			p.Serialized, p.Windows)
+	}
+	if p.LookaheadNS > 0 {
+		if got, want := p.ParallelNS+p.SerializedNS, int64(p.Windows)*p.LookaheadNS; got != want {
+			return fmt.Errorf("ledger: par window time sums to %d ns, want windows x lookahead = %d ns",
+				got, want)
+		}
+	}
+	var causeWindows uint64
+	var causeNS int64
+	for _, c := range p.Causes {
+		if c.Cause == "" || c.Windows == 0 {
+			return fmt.Errorf("ledger: par cause row %+v is empty", c)
+		}
+		causeWindows += c.Windows
+		causeNS += c.VirtualNS
+	}
+	if causeWindows != p.Serialized {
+		return fmt.Errorf("ledger: par cause windows sum to %d, want serialized total %d",
+			causeWindows, p.Serialized)
+	}
+	if causeNS != p.SerializedNS {
+		return fmt.Errorf("ledger: par cause time sums to %d ns, want serialized total %d ns",
+			causeNS, p.SerializedNS)
+	}
+	if p.Traffic != nil {
+		if len(p.Traffic) != p.Shards {
+			return fmt.Errorf("ledger: par traffic matrix has %d rows for %d shards",
+				len(p.Traffic), p.Shards)
+		}
+		var sum uint64
+		for i, row := range p.Traffic {
+			if len(row) != p.Shards {
+				return fmt.Errorf("ledger: par traffic row %d has %d columns for %d shards",
+					i, len(row), p.Shards)
+			}
+			for _, n := range row {
+				sum += n
+			}
+		}
+		if sum != p.Staged {
+			return fmt.Errorf("ledger: par traffic matrix sums to %d, want staged total %d",
+				sum, p.Staged)
 		}
 	}
 	return nil

@@ -1,0 +1,167 @@
+package ledger
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"distws/internal/core"
+)
+
+// parConfig is testConfig sharded and profiled: the smallest run whose
+// manifest carries a full par section (windows, causes, traffic).
+func parConfig() core.Config {
+	cfg := testConfig()
+	cfg.Shards = 4
+	cfg.ParProfile = true
+	return cfg
+}
+
+// parManifest builds a validated manifest from one profiled sharded
+// run.
+func parManifest(t *testing.T, id string) *Manifest {
+	t.Helper()
+	cfg := parConfig()
+	m := FromRun(id, testSpec(cfg), mustRun(t, cfg))
+	if err := m.Validate(); err != nil {
+		t.Fatalf("profiled manifest invalid: %v", err)
+	}
+	return m
+}
+
+// TestParSectionFromRun: a profiled sharded run fills the par section
+// with the ledger's aggregates — nonzero windows and staged traffic, a
+// square shard matrix, and cause rows that partition the serialized
+// totals.
+func TestParSectionFromRun(t *testing.T) {
+	m := parManifest(t, "par-section")
+	p := m.Par
+	if p == nil {
+		t.Fatal("profiled run produced no par section")
+	}
+	if p.Shards != 4 || p.LookaheadNS <= 0 {
+		t.Fatalf("par shape: %d shards, lookahead %d ns", p.Shards, p.LookaheadNS)
+	}
+	if p.Windows == 0 || p.Staged == 0 {
+		t.Fatalf("par section is empty: %+v", p)
+	}
+	if m.Spec.Shards != 4 {
+		t.Fatalf("spec shards = %d, want 4", m.Spec.Shards)
+	}
+	var causeWindows uint64
+	var causeNS int64
+	for _, c := range p.Causes {
+		if c.Windows == 0 {
+			t.Errorf("cause row %q has zero windows", c.Cause)
+		}
+		causeWindows += c.Windows
+		causeNS += c.VirtualNS
+	}
+	if causeWindows != p.Serialized || causeNS != p.SerializedNS {
+		t.Errorf("cause rows sum to %d windows / %d ns, want %d / %d",
+			causeWindows, causeNS, p.Serialized, p.SerializedNS)
+	}
+
+	// An unprofiled run of the same sharded configuration has no par
+	// section; a profiled sequential run gets the degenerate one.
+	cfg := parConfig()
+	cfg.ParProfile = false
+	if m := FromRun("off", testSpec(cfg), mustRun(t, cfg)); m.Par != nil {
+		t.Error("unprofiled run produced a par section")
+	}
+	cfg = testConfig()
+	cfg.ParProfile = true
+	seq := FromRun("seq", testSpec(cfg), mustRun(t, cfg))
+	if err := seq.Validate(); err != nil {
+		t.Fatalf("sequential profiled manifest invalid: %v", err)
+	}
+	if seq.Par == nil || seq.Par.Shards != 1 || seq.Par.Windows != 0 {
+		t.Fatalf("sequential par section = %+v", seq.Par)
+	}
+}
+
+// TestParSectionRoundTrip: the par section survives the file round
+// trip exactly, and its JSON spells the documented field names.
+func TestParSectionRoundTrip(t *testing.T) {
+	m := parManifest(t, "par-roundtrip")
+	path := filepath.Join(t.TempDir(), m.FileName())
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Par, m.Par) {
+		t.Fatalf("par section changed across the round trip:\n%+v\nvs\n%+v", back.Par, m.Par)
+	}
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"par"`, `"shards"`, `"lookahead_ns"`, `"serialized"`, `"causes"`, `"traffic"`} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("encoded manifest lacks %s", want)
+		}
+	}
+}
+
+// TestParValidateCatchesCorruption: the schema checker rejects every
+// broken par identity — shard shape, window accounting, cause
+// partition, traffic sums.
+func TestParValidateCatchesCorruption(t *testing.T) {
+	for name, tamper := range map[string]func(*Manifest){
+		"shards":        func(m *Manifest) { m.Par.Shards = 0 },
+		"lookahead":     func(m *Manifest) { m.Par.LookaheadNS = -1 },
+		"serialized":    func(m *Manifest) { m.Par.Serialized = m.Par.Windows + 1 },
+		"time split":    func(m *Manifest) { m.Par.ParallelNS += 7 },
+		"cause windows": func(m *Manifest) { m.Par.Causes[0].Windows++ },
+		"cause time":    func(m *Manifest) { m.Par.Causes[0].VirtualNS += 7 },
+		"empty cause row": func(m *Manifest) {
+			m.Par.Serialized -= m.Par.Causes[0].Windows
+			m.Par.SerializedNS -= m.Par.Causes[0].VirtualNS
+			m.Par.ParallelNS += m.Par.Causes[0].VirtualNS
+			m.Par.Causes[0].Windows = 0
+			m.Par.Causes[0].VirtualNS = 0
+		},
+		"traffic rows": func(m *Manifest) { m.Par.Traffic = m.Par.Traffic[:1] },
+		"traffic sum":  func(m *Manifest) { m.Par.Traffic[0][1]++ },
+	} {
+		m := parManifest(t, "par-corrupt")
+		tamper(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s corruption passed validation", name)
+		} else if !strings.Contains(err.Error(), "par") {
+			t.Errorf("%s corruption error does not name the par section: %v", name, err)
+		}
+	}
+}
+
+// TestSpecShardsFingerprint pins the compatibility contract: shards
+// enter the spec (and therefore the fingerprint) only when > 1, so
+// every pre-existing sequential baseline keeps its fingerprint.
+func TestSpecShardsFingerprint(t *testing.T) {
+	seqCfg := testConfig()
+	seq := testSpec(seqCfg)
+	if seq.Shards != 0 {
+		t.Fatalf("sequential spec records shards %d", seq.Shards)
+	}
+	shardedCfg := parConfig()
+	sharded := testSpec(shardedCfg)
+	if sharded.Shards != 4 {
+		t.Fatalf("sharded spec records shards %d, want 4", sharded.Shards)
+	}
+	if seq.Fingerprint() == sharded.Fingerprint() {
+		t.Error("shard count does not enter the fingerprint")
+	}
+	m := FromRun("seq-spec", seq, mustRun(t, seqCfg))
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"shards"`)) {
+		t.Error("sequential manifest spells a shards field (breaks old fingerprints)")
+	}
+}

@@ -1,0 +1,69 @@
+package parprof
+
+import (
+	"testing"
+
+	"distws/internal/sim"
+)
+
+// ledgerWorkload records one window mix into l: mostly parallel
+// windows, a serialized minority, and periodic barrier traffic — the
+// shape a real sharded run produces. i is the window index.
+func ledgerWorkload(l *Ledger, i int, la sim.Duration, pairs []uint32) {
+	start := sim.Time(int64(i) * int64(la))
+	cause, merged := CauseNone, 0
+	if i%16 == 0 {
+		cause = CauseTokenDue
+	}
+	p := []uint32(nil)
+	if i%4 == 0 {
+		p = pairs
+		for _, n := range pairs {
+			merged += int(n)
+		}
+	}
+	l.Record(start, start.Add(la), cause, merged, p)
+}
+
+// BenchmarkWindowLedger measures Ledger.Record on the barrier path the
+// coordinator drives once per window. The ledger is reset (capacity
+// kept) every few thousand windows — longer than any real run's
+// steady state — so the benchmark is allocation-free after warm-up
+// and BENCH_sim.json gates it at 0 allocs/op.
+func BenchmarkWindowLedger(b *testing.B) {
+	const la = 4 * sim.Microsecond
+	l := New(4, la)
+	pairs := []uint32{0, 3, 1, 0, 2, 0, 0, 1, 0, 4, 0, 0, 1, 0, 2, 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := i % 4096
+		if w == 0 {
+			l.Reset()
+		}
+		ledgerWorkload(l, w, la, pairs)
+	}
+}
+
+// TestWindowLedgerAllocFree is the alloc gate for the barrier
+// recording path: once the ledger's slices have reached steady-state
+// capacity, Record (and Reset) must not allocate at all.
+func TestWindowLedgerAllocFree(t *testing.T) {
+	const la = 4 * sim.Microsecond
+	const windows = 2048
+	l := New(4, la)
+	pairs := []uint32{0, 3, 1, 0, 2, 0, 0, 1, 0, 4, 0, 0, 1, 0, 2, 0}
+	body := func() {
+		l.Reset()
+		for i := 0; i < windows; i++ {
+			ledgerWorkload(l, i, la, pairs)
+		}
+		if err := l.CheckIdentities(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body() // reach steady-state capacity before measuring
+	if got := testing.AllocsPerRun(20, body); got != 0 {
+		t.Fatalf("window ledger allocates %.1f allocs/run, want 0", got)
+	}
+}

@@ -81,6 +81,41 @@ func (m *mergeSorter) Len() int           { return len(m.e) }
 func (m *mergeSorter) Swap(i, j int)      { m.e[i], m.e[j] = m.e[j], m.e[i] }
 func (m *mergeSorter) Less(i, j int) bool { return entryKeyLess(&m.e[i], &m.e[j]) }
 
+// WindowInfo describes one barrier's window to Hooks.OnWindow.
+type WindowInfo struct {
+	// Start and End bound the window [Start, End); End-Start is always
+	// the kernel's lookahead.
+	Start, End sim.Time
+	// Serialized reports the Serialize decision for this window.
+	Serialized bool
+	// Merged counts the staged cross-shard messages injected at the
+	// barrier that opened this window.
+	Merged int
+	// Pairs, non-nil exactly when Merged > 0, is the src-major
+	// shards×shards matrix of those messages (Pairs[src*shards+dst]).
+	// It aliases coordinator-owned scratch that is reused at the next
+	// barrier: callers must copy or fold it before returning.
+	Pairs []uint32
+}
+
+// WallProbe observes the wall-clock shape of a Run — per-shard busy
+// time versus barrier wait — without touching any virtual state. The
+// coordinator calls WindowStart/WindowDone around each window; each
+// worker brackets its own slice of a parallel window with
+// ShardStart/ShardDone from its own goroutine, so an implementation
+// must keep per-shard state in shard-owned slots (the channel
+// rendezvous at the barrier orders every access, exactly as it does
+// for the kernels themselves). Serialized windows run entirely on the
+// coordinator and produce no ShardStart/ShardDone calls. A probe may
+// read the host clock; nothing it observes can flow back into the
+// simulation, so profiled runs stay bit-identical to unprofiled ones.
+type WallProbe interface {
+	WindowStart(start, end sim.Time, serialized bool)
+	ShardStart(shard int)
+	ShardDone(shard int)
+	WindowDone()
+}
+
 // Hooks customizes a Run. The zero value is valid: every window runs in
 // parallel and no barrier callback fires.
 type Hooks struct {
@@ -93,8 +128,13 @@ type Hooks struct {
 	// OnWindow, if non-nil, runs at each barrier (workers quiescent)
 	// after staged injection and the Serialize decision, before the
 	// window executes. Intended for per-window bookkeeping such as
-	// pruning notes about consumed staged messages.
-	OnWindow func(start, end sim.Time, serialized bool)
+	// pruning notes about consumed staged messages, or recording a
+	// window ledger (internal/obs/parprof).
+	OnWindow func(info WindowInfo)
+	// Wall, if non-nil, receives wall-clock callbacks around windows
+	// and worker slices. Errors and panics abort a window without its
+	// WindowDone, so a probe's totals describe completed windows only.
+	Wall WallProbe
 }
 
 // Stats counts windows executed by a Run.
@@ -117,6 +157,12 @@ type ShardedKernel struct {
 	seq    []uint64 // per-source staging counters
 	merged mergeSorter
 	stats  Stats
+	// pairs is the per-barrier src-major shards×shards message count
+	// scratch behind WindowInfo.Pairs; lastMerged is the total counted
+	// into it at the most recent barrier (0 leaves the scratch stale,
+	// which is fine — OnWindow only sees it when the count is nonzero).
+	pairs      []uint32
+	lastMerged int
 	// windowEnd is the current window's end, written by the coordinator
 	// at the barrier (workers quiescent) and read by workers to assert
 	// the lookahead contract on every Stage call.
@@ -140,6 +186,7 @@ func New(shards int, lookahead sim.Duration) *ShardedKernel {
 		lookahead: lookahead,
 		staged:    make([][]stagedEntry, shards),
 		seq:       make([]uint64, shards),
+		pairs:     make([]uint32, shards*shards),
 	}
 	for i := range s.kernels {
 		s.kernels[i] = sim.NewKernel()
@@ -200,15 +247,25 @@ func (s *ShardedKernel) Stage(src, dst int, when, sent sim.Time, sender int, fn 
 // into the destination kernels, and reports whether any entry was
 // injected. Runs on the coordinator with workers quiescent.
 func (s *ShardedKernel) injectStaged() bool {
+	if s.lastMerged > 0 {
+		for i := range s.pairs {
+			s.pairs[i] = 0
+		}
+	}
 	n := 0
 	for src := range s.staged {
 		n += len(s.staged[src])
 	}
+	s.lastMerged = n
 	if n == 0 {
 		return false
 	}
+	shards := len(s.kernels)
 	s.merged.e = s.merged.e[:0]
 	for src := range s.staged {
+		for i := range s.staged[src] {
+			s.pairs[src*shards+s.staged[src][i].dst]++
+		}
 		s.merged.e = append(s.merged.e, s.staged[src]...)
 		s.staged[src] = s.staged[src][:0]
 	}
@@ -285,6 +342,7 @@ func (s *ShardedKernel) Run(hooks Hooks) error {
 	defer func() { s.running = false }()
 
 	shards := len(s.kernels)
+	wall := hooks.Wall
 	cmd := make([]chan sim.Time, shards)
 	done := make(chan workerMsg, shards)
 	for i := 0; i < shards; i++ {
@@ -292,10 +350,16 @@ func (s *ShardedKernel) Run(hooks Hooks) error {
 		go func(shard int, k *sim.Kernel, c chan sim.Time) {
 			for end := range c {
 				msg := workerMsg{shard: shard}
+				if wall != nil {
+					wall.ShardStart(shard)
+				}
 				func() {
 					defer func() { msg.panic = recover() }()
 					msg.err = k.RunUntil(end)
 				}()
+				if wall != nil {
+					wall.ShardDone(shard)
+				}
 				done <- msg
 			}
 		}(i, s.kernels[i], cmd[i])
@@ -315,7 +379,14 @@ func (s *ShardedKernel) Run(hooks Hooks) error {
 		end := start.Add(s.lookahead)
 		serialized := hooks.Serialize != nil && hooks.Serialize(start, end)
 		if hooks.OnWindow != nil {
-			hooks.OnWindow(start, end, serialized)
+			info := WindowInfo{Start: start, End: end, Serialized: serialized, Merged: s.lastMerged}
+			if s.lastMerged > 0 {
+				info.Pairs = s.pairs
+			}
+			hooks.OnWindow(info)
+		}
+		if wall != nil {
+			wall.WindowStart(start, end, serialized)
 		}
 		s.windowEnd = end
 		s.stats.Windows++
@@ -323,6 +394,9 @@ func (s *ShardedKernel) Run(hooks Hooks) error {
 			s.stats.Serialized++
 			if err := s.runSerialized(end); err != nil {
 				return err
+			}
+			if wall != nil {
+				wall.WindowDone()
 			}
 			continue
 		}
@@ -346,6 +420,9 @@ func (s *ShardedKernel) Run(hooks Hooks) error {
 		}
 		if firstErr != nil {
 			return firstErr
+		}
+		if wall != nil {
+			wall.WindowDone()
 		}
 	}
 }
