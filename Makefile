@@ -11,7 +11,7 @@ ARTIFACTS ?= artifacts
 # corner: the golden ledger the matrix gate compares against.
 SMOKE = $(ARTIFACTS)/smoke
 
-.PHONY: build test vet distwsvet race lint obs-smoke causal-smoke chaos-smoke par-smoke parprof-smoke bench-json bench-smoke matrix-smoke matrix-baseline check clean
+.PHONY: build test vet distwsvet race lint obs-smoke causal-smoke chaos-smoke serve-smoke par-smoke parprof-smoke bench-json bench-smoke matrix-smoke matrix-baseline check clean
 
 build:
 	$(GO) build ./...
@@ -105,9 +105,9 @@ chaos-smoke:
 # for archiving and cross-commit comparison. BENCHTIME=1x gives the
 # CI smoke variant below; default is a real measurement.
 BENCHTIME ?= 1s
-BENCH_PKGS = ./internal/sim ./internal/sim/par ./internal/comm ./internal/topology ./internal/uts ./internal/fault ./internal/obs/parprof .
-BENCH_NAMES = BenchmarkKernelHotPath|BenchmarkShardedKernel|BenchmarkCommSend|BenchmarkLatencyLookup|BenchmarkUTSChildGen|BenchmarkFaultInjection|BenchmarkWindowLedger
-BENCH_REQUIRE = KernelHotPath,ShardedKernel/shards=1,ShardedKernel/shards=2,ShardedKernel/shards=4,ShardedKernel/shards=8,CommSend,LatencyLookup,UTSChildGen,FaultInjection/nil-plan,FaultInjection/crashes,FaultInjection/lossy,WindowLedger
+BENCH_PKGS = ./internal/sim ./internal/sim/par ./internal/comm ./internal/topology ./internal/uts ./internal/fault ./internal/obs/parprof ./internal/serve .
+BENCH_NAMES = BenchmarkKernelHotPath|BenchmarkShardedKernel|BenchmarkCommSend|BenchmarkLatencyLookup|BenchmarkUTSChildGen|BenchmarkFaultInjection|BenchmarkWindowLedger|BenchmarkServeArrivals
+BENCH_REQUIRE = KernelHotPath,ShardedKernel/shards=1,ShardedKernel/shards=2,ShardedKernel/shards=4,ShardedKernel/shards=8,CommSend,LatencyLookup,UTSChildGen,FaultInjection/nil-plan,FaultInjection/crashes,FaultInjection/lossy,WindowLedger,ServeArrivals
 BENCH_RUN = $(GO) test -run '^$$' -bench '$(BENCH_NAMES)' -benchmem \
 	-benchtime $(BENCHTIME) $(BENCH_PKGS)
 
@@ -130,6 +130,32 @@ bench-smoke:
 	@mkdir -p $(ARTIFACTS)/bench
 	$(BENCH_RUN) | $(GO) run ./cmd/benchjson -require $(BENCH_REQUIRE) \
 		-out $(ARTIFACTS)/bench/BENCH_sim.json -baseline BENCH_sim.json
+
+# serve-smoke drives the open-system serving layer end to end: a
+# fixed-seed two-tenant serving run through cmd/uts must drain every
+# admitted job, book a consistent admission ledger (arrived = admitted
+# + rejected), and replay byte-identically — the arrival schedule is
+# compiled from (spec, seed) before the simulation starts, so any
+# divergence is a determinism leak. The goodput/fairness saturation
+# table (harness experiment "serving") lands in $(SMOKE)/; its shape
+# checks gate the exit status.
+SERVE_RUN = $(GO) run ./cmd/uts -tree T3 -ranks 16 -seed 7 -selector Tofu \
+	-serve -tenants 2 -arrivals poisson:2ms,gamma:4ms:2 -horizon 40ms
+
+serve-smoke:
+	@mkdir -p $(SMOKE)
+	$(SERVE_RUN) > $(SMOKE)/serve.txt
+	@$(SERVE_RUN) | cmp -s - $(SMOKE)/serve.txt || \
+		{ echo "serve-smoke: serving run is not replay-identical"; exit 1; }
+	@grep -q "open-system serving:" $(SMOKE)/serve.txt || \
+		{ echo "serve-smoke: serving report section missing"; cat $(SMOKE)/serve.txt; exit 1; }
+	@awk '/jobs:/ { seen = 1; \
+		if ($$2 + 0 != $$5 + $$8) { print "serve-smoke: admission ledger broken: " $$0; bad = 1 }; \
+		if ($$10 + 0 != $$5 + 0) { print "serve-smoke: undrained jobs: " $$0; bad = 1 } } \
+		END { if (!seen) { print "serve-smoke: no jobs line in report"; bad = 1 }; exit bad }' \
+		$(SMOKE)/serve.txt
+	$(GO) run ./cmd/experiments -run serving -scale quick -o $(SMOKE)/serve.table.txt
+	@echo "serve-smoke: wrote $(SMOKE)/serve.txt and serve.table.txt"
 
 # matrix-smoke is the cross-run regression gate: the scenario matrix
 # (tree × selector × ranks × fault plan) runs at quick scale, writes one
@@ -202,7 +228,7 @@ parprof-smoke:
 	$(GO) run ./cmd/obscheck $(SMOKE)/parprof.manifest.json
 	@echo "parprof-smoke: observer-free; profile in $(SMOKE)/parprof.txt, scaling in $(SMOKE)/parprof.scaling.json"
 
-check: build lint vet distwsvet test race par-smoke parprof-smoke causal-smoke chaos-smoke matrix-smoke
+check: build lint vet distwsvet test race par-smoke parprof-smoke causal-smoke chaos-smoke serve-smoke matrix-smoke
 	@echo "check: all gates passed"
 
 clean:

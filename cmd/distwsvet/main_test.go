@@ -506,3 +506,32 @@ func TestBarrierSyncCarveOutIsLoadBearing(t *testing.T) {
 		}
 	}
 }
+
+// TestServePackageCleanWithoutAllowlists machine-checks the open-system
+// serving layer (internal/serve) with every exception stripped. The
+// compiled arrival schedule is the serving determinism contract — a
+// pure function of (spec, ranks, seed) — so the package must hold the
+// virtual-time, randomness and iteration-order invariants on its own
+// merits: not allowlisted, and clean under the bare analyzers.
+func TestServePackageCleanWithoutAllowlists(t *testing.T) {
+	const pkg = "distws/internal/serve"
+	for _, e := range append(append([]string{}, randExempt...), wallClockOK...) {
+		if pkg == e {
+			t.Fatalf("%s is allowlisted (%v); the arrival compiler must pass unexcepted", pkg, e)
+		}
+	}
+	pkgs, err := analysis.Load("../..", pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	diags, err := analysis.Run(pkgs, bare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding: %v", d)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 	"distws/internal/obs/ledger"
 	"distws/internal/obs/parprof"
 	"distws/internal/obs/parprof/wallclock"
+	"distws/internal/serve"
 	"distws/internal/sim"
 	"distws/internal/term"
 	"distws/internal/topology"
@@ -60,6 +62,10 @@ func main() {
 		eventBufFlag  = flag.Int("eventbuf", 0, "per-rank event ring capacity (0 = default)")
 		obsFlag       = flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :6060)")
 		manifestFlag  = flag.String("manifest", "", "write the run manifest (ledger JSON) to this file; diff runs with tracetool -diff")
+		serveFlag     = flag.Bool("serve", false, "open-system serving mode: jobs arrive continuously instead of one closed batch (-arrivals, -tenants, -horizon); -tree sets the per-job workload")
+		arrivalsFlag  = flag.String("arrivals", "poisson:2ms", "with -serve: comma-separated per-tenant arrival processes, cycled across tenants: poisson:MEAN, gamma:MEAN:SHAPE, weibull:MEAN:SHAPE — or a single replay:FILE (JSONL arrival log) feeding every tenant")
+		tenantsFlag   = flag.Int("tenants", 2, "with -serve: number of traffic sources")
+		horizonFlag   = flag.Duration("horizon", 50*time.Millisecond, "with -serve: arrival horizon (virtual time); the run drains admitted jobs past it")
 		faultsFlag    = flag.String("faults", "", "JSON fault-plan file (crashes, stragglers, lossy links)")
 		crashFlag     = flag.String("crash", "", "inline crash schedule: rank@time,... (e.g. 3@40us,11@2ms)")
 		stragglerFlag = flag.String("straggler", "", "inline stragglers: rank@compute[xsend],... (e.g. 5@3x2)")
@@ -123,6 +129,21 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if !*serveFlag {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "arrivals", "tenants", "horizon":
+				fatalf("-%s has no effect without -serve", f.Name)
+			}
+		})
+	}
+	var serveSpec *serve.Spec
+	if *serveFlag {
+		serveSpec, err = buildServeSpec(*arrivalsFlag, *tenantsFlag, sim.Duration(*horizonFlag), info.Params)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
 	var reg *obs.Registry
 	if *obsFlag != "" {
 		reg = obs.NewRegistry()
@@ -151,6 +172,7 @@ func main() {
 		Faults:        plan,
 		Shards:        *shardsFlag,
 		ParProfile:    *parprofFlag,
+		Serve:         serveSpec,
 	}
 	if err := checkShards(*shardsFlag, *ranksFlag); err != nil {
 		fatalf("%v", err)
@@ -196,6 +218,24 @@ func main() {
 
 	if res.MaxMigrationDepth > 0 {
 		fmt.Printf("  work lineage:    max migration depth %d\n", res.MaxMigrationDepth)
+	}
+
+	if st := res.Serve; st != nil {
+		fmt.Printf("\n  open-system serving:\n")
+		fmt.Printf("  horizon:         %v (drained at %v)\n", sim.Duration(*horizonFlag), sim.Duration(st.Finish))
+		fmt.Printf("  jobs:            %d arrived = %d admitted + %d rejected; %d done\n",
+			st.Arrived, st.Admitted, st.Rejected, st.Done)
+		fmt.Printf("  fairness (Jain): %.3f\n", st.Jain)
+		for _, ts := range st.Tenants {
+			class := ts.Class
+			if class == "" {
+				class = "best-effort"
+			}
+			fmt.Printf("    %-8s %-12s arrived %4d  admitted %4d  rejected %4d  slo-met %4d  goodput %8.1f/s\n",
+				ts.Name, class, ts.Arrived, ts.Admitted, ts.Rejected, ts.SLOMet, ts.GoodputPerSec)
+			fmt.Printf("    %-8s %-12s sojourn p50 %v  p95 %v  p99 %v\n",
+				"", "", ts.SojournP50, ts.SojournP95, ts.SojournP99)
+		}
 	}
 
 	if res.PerRankFaults != nil {
@@ -306,6 +346,89 @@ func main() {
 		fmt.Printf("\nrun complete; still serving %s — interrupt to exit\n", *obsFlag)
 		select {}
 	}
+}
+
+// buildServeSpec assembles the open-system spec from the serving flags:
+// tenants t0..tN-1 share the -tree preset as their per-job workload, and
+// the -arrivals entries are cycled across them. A single replay entry
+// instead feeds every tenant from one JSONL arrival log (the format
+// serve.WriteArrivals emits).
+func buildServeSpec(arrivals string, tenants int, horizon sim.Duration, tree uts.Params) (*serve.Spec, error) {
+	if tenants < 1 {
+		return nil, fmt.Errorf("-tenants must be >= 1, got %d", tenants)
+	}
+	spec := &serve.Spec{Horizon: horizon, Placement: serve.PlaceRR}
+	entries := strings.Split(arrivals, ",")
+	var specs []serve.ArrivalSpec
+	if len(entries) == 1 && strings.HasPrefix(entries[0], "replay:") {
+		path := strings.TrimPrefix(entries[0], "replay:")
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("-arrivals: %w", err)
+		}
+		defer f.Close()
+		traces, err := serve.ReadArrivals(f, tenants)
+		if err != nil {
+			return nil, fmt.Errorf("-arrivals %s: %w", path, err)
+		}
+		for _, tr := range traces {
+			specs = append(specs, serve.ArrivalSpec{Process: serve.ProcReplay, Trace: tr})
+		}
+	} else {
+		for _, e := range entries {
+			a, err := parseArrival(strings.TrimSpace(e))
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, a)
+		}
+	}
+	for i := 0; i < tenants; i++ {
+		spec.Tenants = append(spec.Tenants, serve.Tenant{
+			Name:    fmt.Sprintf("t%d", i),
+			Arrival: specs[i%len(specs)],
+			Work:    serve.Workload{Kind: serve.WorkUTS, Tree: tree},
+		})
+	}
+	return spec, nil
+}
+
+// parseArrival parses one -arrivals entry: poisson:MEAN,
+// gamma:MEAN:SHAPE or weibull:MEAN:SHAPE (shape defaults to 1).
+func parseArrival(entry string) (serve.ArrivalSpec, error) {
+	parts := strings.Split(entry, ":")
+	bad := func() (serve.ArrivalSpec, error) {
+		return serve.ArrivalSpec{}, fmt.Errorf(
+			"-arrivals entry %q: want poisson:MEAN, gamma:MEAN:SHAPE, weibull:MEAN:SHAPE or replay:FILE", entry)
+	}
+	if len(parts) < 2 {
+		return bad()
+	}
+	mean, err := time.ParseDuration(parts[1])
+	if err != nil {
+		return bad()
+	}
+	a := serve.ArrivalSpec{Process: strings.ToLower(parts[0]), Mean: sim.Duration(mean)}
+	switch a.Process {
+	case serve.ProcPoisson:
+		if len(parts) != 2 {
+			return bad()
+		}
+	case serve.ProcGamma, serve.ProcWeibull:
+		if len(parts) > 3 {
+			return bad()
+		}
+		if len(parts) == 3 {
+			shape, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return bad()
+			}
+			a.Shape = shape
+		}
+	default:
+		return bad()
+	}
+	return a, nil
 }
 
 // manifestID derives the run label from the manifest file name.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"distws/internal/core"
 	"distws/internal/fault"
+	"distws/internal/serve"
 	"distws/internal/sim"
 	"distws/internal/uts"
 )
@@ -150,5 +152,79 @@ func TestShardedRunMatchesSequential(t *testing.T) {
 		res.StealRequests != seq.StealRequests || res.ChunksTransferred != seq.ChunksTransferred {
 		t.Fatalf("shards=4 diverged: makespan %v vs %v, steals %d vs %d",
 			res.Makespan, seq.Makespan, res.StealRequests, seq.StealRequests)
+	}
+}
+
+func TestParseArrival(t *testing.T) {
+	cases := map[string]serve.ArrivalSpec{
+		"poisson:2ms":     {Process: serve.ProcPoisson, Mean: 2 * sim.Millisecond},
+		"gamma:2ms:2":     {Process: serve.ProcGamma, Mean: 2 * sim.Millisecond, Shape: 2},
+		"gamma:1ms":       {Process: serve.ProcGamma, Mean: sim.Millisecond},
+		"weibull:2ms:1.5": {Process: serve.ProcWeibull, Mean: 2 * sim.Millisecond, Shape: 1.5},
+		"Poisson:500us":   {Process: serve.ProcPoisson, Mean: 500 * sim.Microsecond},
+	}
+	for in, want := range cases {
+		got, err := parseArrival(in)
+		if err != nil {
+			t.Errorf("parseArrival(%q): %v", in, err)
+			continue
+		}
+		if got.Process != want.Process || got.Mean != want.Mean || got.Shape != want.Shape {
+			t.Errorf("parseArrival(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "poisson", "poisson:", "poisson:2ms:3", "gamma:2ms:x", "gamma:2ms:2:9", "uniform:2ms", "poisson:nope"} {
+		if _, err := parseArrival(bad); err == nil {
+			t.Errorf("parseArrival(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildServeSpec(t *testing.T) {
+	tree := uts.MustPreset("T3").Params
+	spec, err := buildServeSpec("poisson:2ms,gamma:4ms:2", 3, 30*sim.Millisecond, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("built spec invalid: %v", err)
+	}
+	if len(spec.Tenants) != 3 || spec.Horizon != 30*sim.Millisecond {
+		t.Fatalf("spec shape: %d tenants, horizon %v", len(spec.Tenants), spec.Horizon)
+	}
+	// Entries cycle across tenants: t2 wraps back to the poisson entry.
+	if spec.Tenants[0].Arrival.Process != serve.ProcPoisson ||
+		spec.Tenants[1].Arrival.Process != serve.ProcGamma ||
+		spec.Tenants[2].Arrival.Process != serve.ProcPoisson {
+		t.Fatalf("arrival cycling wrong: %+v", spec.Tenants)
+	}
+	for i, tn := range spec.Tenants {
+		if tn.Name != fmt.Sprintf("t%d", i) || tn.Work.Kind != serve.WorkUTS {
+			t.Fatalf("tenant %d malformed: %+v", i, tn)
+		}
+	}
+
+	if _, err := buildServeSpec("poisson:2ms", 0, 30*sim.Millisecond, tree); err == nil {
+		t.Error("zero tenants accepted")
+	}
+	if _, err := buildServeSpec("replay:/no/such/file.jsonl", 2, 30*sim.Millisecond, tree); err == nil {
+		t.Error("missing replay file accepted")
+	}
+
+	// The replay path feeds each tenant its own trace from one log.
+	path := filepath.Join(t.TempDir(), "arr.jsonl")
+	if err := os.WriteFile(path, []byte(
+		"{\"tenant\":0,\"at\":1000}\n{\"tenant\":1,\"at\":2000}\n{\"tenant\":0,\"at\":3000}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err = buildServeSpec("replay:"+path, 2, 30*sim.Millisecond, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("replay spec invalid: %v", err)
+	}
+	if len(spec.Tenants[0].Arrival.Trace) != 2 || len(spec.Tenants[1].Arrival.Trace) != 1 {
+		t.Fatalf("replay traces wrong: %+v", spec.Tenants)
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"distws/internal/fault"
 	"distws/internal/obs"
+	"distws/internal/serve"
 	"distws/internal/sim"
 	"distws/internal/sim/par"
 	"distws/internal/term"
@@ -195,6 +196,20 @@ type Config struct {
 	// bit-deterministic. Ignored by the sequential kernel.
 	ParWallProbe par.WallProbe
 
+	// Serve, when non-nil, switches the engine into open-system serving
+	// mode (internal/serve, DESIGN.md §15): instead of a single tree
+	// rooted at rank 0, jobs arrive continuously from the spec's tenants
+	// under admission control, each rooted at a placement-chosen rank,
+	// and the run ends when the arrival horizon has passed and every
+	// admitted job drained. Config.Tree is ignored (each job carries its
+	// own workload); the termination detector is replaced by the open
+	// detector. The serving run is a pure function of (Config, Seed) —
+	// including under Shards >= 2 — and a nil Serve keeps every closed-
+	// system path byte-identical to builds without the feature. Serving
+	// is incompatible with fault plans: job-completion accounting
+	// assumes no work is ever lost.
+	Serve *serve.Spec
+
 	// Seed drives every random choice of the run.
 	Seed uint64
 
@@ -228,6 +243,15 @@ type Config struct {
 	// is invoked with the engine every testProbeEvery of virtual time.
 	testProbe      func(e interface{})
 	testProbeEvery sim.Duration
+}
+
+// serveTenants is the tenant count for serving-metric registration
+// (0 when serving is disabled).
+func (c Config) serveTenants() int {
+	if c.Serve == nil {
+		return 0
+	}
+	return len(c.Serve.Tenants)
 }
 
 // GranularityCost returns the node cost for a tree whose node creation
@@ -306,6 +330,21 @@ func (c Config) Validate() error {
 	if c.Shards > 1 {
 		if _, ok := c.Latency.(*topology.JitterLatency); ok {
 			return errors.New("core: JitterLatency is stateful and admits no sound lookahead bound; it cannot be sharded")
+		}
+	}
+	if c.Serve != nil {
+		if err := c.Serve.Validate(); err != nil {
+			return err
+		}
+		if c.Faults != nil && !c.Faults.Empty() {
+			return errors.New("core: serving mode is incompatible with fault plans (job accounting assumes no lost work)")
+		}
+		mvt := c.MaxVirtualTime
+		if mvt == 0 {
+			mvt = DefaultMaxVirtualTime
+		}
+		if sim.Time(0).Add(c.Serve.Horizon) >= mvt {
+			return fmt.Errorf("core: serving horizon %v reaches MaxVirtualTime %v", c.Serve.Horizon, mvt)
 		}
 	}
 	return nil

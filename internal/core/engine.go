@@ -7,6 +7,7 @@ import (
 	"distws/internal/fault"
 	"distws/internal/obs"
 	"distws/internal/obs/parprof"
+	"distws/internal/serve"
 	"distws/internal/sim"
 	"distws/internal/term"
 	"distws/internal/topology"
@@ -179,6 +180,14 @@ type engine struct {
 	detected   bool
 	doneCount  int
 
+	// sv is the open-system serving state (engine_serve.go): nil for
+	// closed-system runs, shared across the shard engines of a sharded
+	// serving run. svDelta and svLastDec are this engine's per-window
+	// job-accounting deltas, folded at barriers (sharded runs only).
+	sv        *serveState
+	svDelta   []int64
+	svLastDec []sim.Time
+
 	// par links the engine into a sharded run (engine_par.go): nil for
 	// sequential runs, where every field above is engine-global. In a
 	// sharded run each shard owns one engine; ranks, det, sel, rec, ev
@@ -282,6 +291,11 @@ type Result struct {
 	// Trace is the activity trace, when Config.CollectTrace was set.
 	Trace *trace.Trace
 
+	// Serve is the serving summary, when Config.Serve was set (nil
+	// otherwise): per-tenant arrival/admission/completion counts,
+	// sojourn percentiles, goodput and the Jain fairness index.
+	Serve *serve.Stats
+
 	// Par is the parallel-kernel window ledger, when Config.ParProfile
 	// was set (nil otherwise). For sequential runs (Shards <= 1) it is
 	// the empty degenerate ledger: one shard, no windows. The ledger is
@@ -338,6 +352,15 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	e.inj = inj
+	sv, err := compileServe(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if sv != nil {
+		e.sv = sv
+		e.det = openDetector{}
+		sv.resolveFn = e.svResolve
+	}
 	if cfg.CollectTrace || cfg.CollectEvents {
 		// The event log rides on the trace, so CollectEvents implies it.
 		e.rec = trace.NewRecorder(cfg.Ranks)
@@ -345,7 +368,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.CollectEvents {
 		e.ev = obs.NewRecorder(cfg.Ranks, cfg.EventBuffer)
 	}
-	e.met = newEngineMetrics(cfg.Metrics, cfg.Ranks, inj != nil)
+	e.met = newEngineMetrics(cfg.Metrics, cfg.Ranks, inj != nil, cfg.serveTenants())
 	e.rankArg = make([]any, cfg.Ranks)
 	e.quantumEndFn = func(a any) { e.quantumEnd(a.(int)) }
 	for i := range e.rankArg {
@@ -384,14 +407,23 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	// Rank 0 owns the root; everyone else starts searching at t = 0.
-	root := cfg.Tree.Root()
-	e.ranks[0].stack.Push(root)
-	e.ranks[0].generated++
-	e.recordState(0, 0, trace.Active)
-	e.startQuantum(0)
-	for r := 1; r < cfg.Ranks; r++ {
-		e.goIdle(r)
+	if e.sv == nil {
+		// Rank 0 owns the root; everyone else starts searching at t = 0.
+		root := cfg.Tree.Root()
+		e.ranks[0].stack.Push(root)
+		e.ranks[0].generated++
+		e.recordState(0, 0, trace.Active)
+		e.startQuantum(0)
+		for r := 1; r < cfg.Ranks; r++ {
+			e.goIdle(r)
+		}
+	} else {
+		// Serving: no pre-seeded root — every rank starts idle and the
+		// compiled arrivals (plus the horizon tick) drive the run.
+		for r := 0; r < cfg.Ranks; r++ {
+			e.goIdle(r)
+		}
+		e.svSchedule()
 	}
 
 	if cfg.testProbe != nil && cfg.testProbeEvery > 0 {
@@ -481,11 +513,23 @@ func (e *engine) startQuantum(r int) {
 		if node.Height > rk.maxDepth {
 			rk.maxDepth = node.Height
 		}
-		nchild := rk.gen.Reset(e.cfg.Tree, &node)
+		var nchild int
+		if e.sv == nil {
+			nchild = rk.gen.Reset(e.cfg.Tree, &node)
+		} else {
+			// Serving: each job's nodes expand under the job's own params.
+			nchild = rk.gen.Reset(e.sv.sched.Jobs[node.Job].Tree, &node)
+		}
 		if nchild == 0 {
 			rk.leaves++
 			rk.units++
+			if e.sv != nil {
+				e.svConsume(node.Job, -1)
+			}
 			continue
+		}
+		if e.sv != nil && nchild > 1 {
+			e.svConsume(node.Job, int64(nchild-1))
 		}
 		rk.expNext = 0
 		rk.expTotal = nchild
@@ -1263,6 +1307,9 @@ func (e *engine) resultFrom(t engineTotals) *Result {
 				Blacklists: rk.blacklists,
 			}
 		}
+	}
+	if e.sv != nil {
+		res.Serve = e.sv.sched.Stats(e.sv.doneAt, e.detectedAt)
 	}
 	if e.rec != nil {
 		res.Trace = e.rec.Finish(e.detectedAt)

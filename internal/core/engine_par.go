@@ -223,6 +223,15 @@ func runSharded(cfg Config, job *topology.Job) (*Result, error) {
 
 	sk := par.New(shards, lookahead)
 	det := cfg.Detector(cfg.Ranks)
+	sv, err := compileServe(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if sv != nil {
+		// Serving replaces the detector; the open detector's constant
+		// IdleDecisionPossible=false keeps every window parallel.
+		det = openDetector{}
+	}
 	da, _ := det.(term.DecisionAware)
 	ps := &parShared{
 		sk:      sk,
@@ -249,7 +258,7 @@ func runSharded(cfg Config, job *topology.Job) (*Result, error) {
 	if cfg.CollectEvents {
 		ev = obs.NewRecorder(cfg.Ranks, cfg.EventBuffer)
 	}
-	met := newEngineMetrics(cfg.Metrics, cfg.Ranks, inj != nil)
+	met := newEngineMetrics(cfg.Metrics, cfg.Ranks, inj != nil, cfg.serveTenants())
 	ranks := make([]rank, cfg.Ranks)
 	rankArg := make([]any, cfg.Ranks)
 	for i := range rankArg {
@@ -271,6 +280,7 @@ func runSharded(cfg Config, job *topology.Job) (*Result, error) {
 			rankArg:    rankArg,
 			backoffCfg: cfg.backoff(),
 			inj:        inj,
+			sv:         sv,
 			par:        ps,
 		}
 		e.kernel.SetTimeLimit(cfg.MaxVirtualTime)
@@ -313,16 +323,41 @@ func runSharded(cfg Config, job *topology.Job) (*Result, error) {
 		}
 	}
 
-	// Seed the work exactly as the sequential engine does, in rank
-	// order (single-threaded: the windows have not started).
-	root := cfg.Tree.Root()
-	ranks[0].stack.Push(root)
-	ranks[0].generated++
 	e0 := engines[0]
-	e0.recordState(0, 0, trace.Active)
-	e0.startQuantum(0)
-	for r := 1; r < cfg.Ranks; r++ {
-		engines[shardOf[r]].goIdle(r)
+	if sv == nil {
+		// Seed the work exactly as the sequential engine does, in rank
+		// order (single-threaded: the windows have not started).
+		root := cfg.Tree.Root()
+		ranks[0].stack.Push(root)
+		ranks[0].generated++
+		e0.recordState(0, 0, trace.Active)
+		e0.startQuantum(0)
+		for r := 1; r < cfg.Ranks; r++ {
+			engines[shardOf[r]].goIdle(r)
+		}
+	} else {
+		// Serving: every rank starts idle; each compiled arrival is
+		// pre-scheduled on the kernel owning its placement rank (the
+		// crash pre-scheduling pattern). The per-engine delta arrays
+		// carry job accounting from parallel windows to the barrier
+		// fold, and a no-op horizon tick keeps shard 0's kernel (and
+		// hence the windows) alive through a quiet arrival plan.
+		for _, e := range engines {
+			e.svDelta = make([]int64, len(sv.sched.Jobs))
+			e.svLastDec = make([]sim.Time, len(sv.sched.Jobs))
+			for i := range e.svLastDec {
+				e.svLastDec[i] = -1
+			}
+		}
+		for r := 0; r < cfg.Ranks; r++ {
+			engines[shardOf[r]].goIdle(r)
+		}
+		for i := range sv.sched.Jobs {
+			idx := i
+			oe := engines[shardOf[sv.sched.Jobs[i].Root]]
+			oe.kernel.At(sv.sched.Jobs[i].At, func() { oe.svArrive(idx) })
+		}
+		e0.kernel.At(sv.horizonAt, func() {})
 	}
 
 	if cfg.ParProfile {
@@ -332,6 +367,12 @@ func runSharded(cfg Config, job *topology.Job) (*Result, error) {
 		Serialize: ps.serializeWindow,
 		OnWindow: func(info par.WindowInfo) {
 			ps.serialized = info.Serialized
+			if sv != nil {
+				// Workers are quiescent and the upcoming window has not
+				// started: fold the job-accounting deltas, inject due
+				// waves at info.Start, and decide the finish.
+				ps.serveBarrier(info)
+			}
 			if ps.prof == nil {
 				return
 			}

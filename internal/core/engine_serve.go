@@ -1,0 +1,368 @@
+package core
+
+// Open-system serving mode (DESIGN.md §15): Config.Serve turns the
+// closed-system batch engine into a continuously loaded job service.
+// The entire arrival schedule — instants, admission verdicts,
+// placements, per-job workloads — is compiled before the simulation
+// starts (internal/serve), so the engine merely replays it: arrival
+// events are pre-scheduled on the kernel owning each job's placement
+// rank (the same pattern as crash pre-scheduling), and the run ends
+// when the horizon has passed and every admitted job has drained.
+//
+// Job-completion accounting rides a per-job live-node counter: an
+// injected wave adds its node count, expanding an internal node adds
+// (children - 1), and consuming a leaf subtracts one. A job's nodes
+// are tagged (uts.Node.Job) and follow the work wherever steals carry
+// it, so live[j] reaching zero means no node of job j exists anywhere
+// — stacks, staged expansions, or in-flight loot.
+//
+// Under Shards >= 2 the counter cannot be shared: pops happen inside
+// parallel windows on many engines at once. Each shard engine instead
+// accumulates deltas (svDelta) and latches its last dec instant
+// (svLastDec); the coordinator folds them into the shared counters at
+// each window barrier — workers quiescent, single-threaded — where it
+// also injects follow-up DAG waves and decides the finish. The
+// serving detector never serializes a window (it implements
+// term.DecisionAware with a constant false), so serving runs keep the
+// parallel kernel parallel. Sequential runs resolve completions on a
+// zero-delay event instead, which keeps resolution out of the middle
+// of startQuantum's expansion loop.
+//
+// Closed-system runs never touch any of this: every hook is behind a
+// nil check on engine.sv, and TestGoldenFig9 pins byte-identity.
+
+import (
+	"distws/internal/serve"
+	"distws/internal/sim"
+	"distws/internal/sim/par"
+	"distws/internal/term"
+	"distws/internal/trace"
+	"distws/internal/uts"
+)
+
+// openDetector stands in for the termination detector in serving
+// mode: an open system ends by schedule (horizon plus drain), not by
+// distributed detection, so it never fires and circulates no tokens.
+// IdleDecisionPossible is constantly false, which keeps every sharded
+// window parallel (engine_par.go's serialization policy).
+type openDetector struct{}
+
+func (openDetector) Name() string                              { return "Open" }
+func (openDetector) WorkSent(int)                              {}
+func (openDetector) WorkReceived(int)                          {}
+func (openDetector) WorkLost(int)                              {}
+func (openDetector) OnIdle(int) []term.Send                    { return nil }
+func (openDetector) OnToken(int, term.Token, bool) []term.Send { return nil }
+func (openDetector) RemoveRank(int, bool) []term.Send          { return nil }
+func (openDetector) Terminated() bool                          { return false }
+func (openDetector) Rounds() int                               { return 0 }
+func (openDetector) IdleDecisionPossible(int) bool             { return false }
+
+// serveState is the run-wide serving bookkeeping. In a sharded run it
+// is shared by the shard engines like ranks/det/sel: the slices are
+// written only by a job's owning engine during windows (arrival
+// injection) or by the coordinator at barriers (delta folding, wave
+// scheduling, completion), never concurrently.
+type serveState struct {
+	spec  *serve.Spec
+	sched *serve.Schedule
+
+	// live[j] is job j's node population; zero after injection means
+	// the job's current wave fully drained. waveNext[j] is the next
+	// wave to inject; doneAt[j] the completion instant (-1 while
+	// running); lastDec[j] the sequential dec-to-zero latch.
+	live     []int64
+	waveNext []int32
+	doneAt   []sim.Time
+	lastDec  []sim.Time
+
+	doneJobs  int
+	maxDone   sim.Time
+	horizonAt sim.Time
+
+	// Sequential-engine resolve machinery: completions detected inside
+	// startQuantum are parked in pending and resolved by a zero-delay
+	// event, so wave injection never mutates the stack being expanded.
+	horizonTicked bool
+	pending       []uint32
+	armed         bool
+	resolveFn     func()
+	finished      bool
+}
+
+func newServeState(sched *serve.Schedule) *serveState {
+	n := len(sched.Jobs)
+	sv := &serveState{
+		spec:      sched.Spec,
+		sched:     sched,
+		live:      make([]int64, n),
+		waveNext:  make([]int32, n),
+		doneAt:    make([]sim.Time, n),
+		lastDec:   make([]sim.Time, n),
+		maxDone:   -1,
+		horizonAt: sim.Time(0).Add(sched.Spec.Horizon),
+	}
+	for i := range sv.doneAt {
+		sv.doneAt[i] = -1
+		sv.lastDec[i] = -1
+	}
+	return sv
+}
+
+// compileServe builds the schedule and serve state for a validated
+// config (nil when serving is disabled).
+func compileServe(cfg Config) (*serveState, error) {
+	if cfg.Serve == nil {
+		return nil, nil
+	}
+	sched, err := serve.Compile(cfg.Serve, cfg.Ranks, cfg.Seed, cfg.NodeCost)
+	if err != nil {
+		return nil, err
+	}
+	return newServeState(sched), nil
+}
+
+// svSchedule pre-schedules every arrival on this engine's kernel plus
+// the horizon tick. Sequential runs call it once; sharded runs route
+// each job through the engine owning its placement rank instead (see
+// runSharded), exactly like crash pre-scheduling.
+func (e *engine) svSchedule() {
+	sv := e.sv
+	for i := range sv.sched.Jobs {
+		idx := i
+		e.kernel.At(sv.sched.Jobs[i].At, func() { e.svArrive(idx) })
+	}
+	e.kernel.At(sv.horizonAt, func() { e.svHorizon() })
+}
+
+// svArrive replays one compiled arrival: record the arrival and its
+// admission verdict, and inject wave 0 at the placement rank. Runs on
+// the engine owning the rank (in sharded mode, inside a parallel
+// window — it touches only this shard's ranks, this job's slots, and
+// atomic counters).
+func (e *engine) svArrive(idx int) {
+	sv := e.sv
+	j := &sv.sched.Jobs[idx]
+	now := e.kernel.Now()
+	root, tenant := int(j.Root), int(j.Tenant)
+	e.ev.Record(root, now, trace.EvJobArrive, tenant, int64(j.ID))
+	if e.met != nil {
+		e.met.jobsArrived.Inc()
+	}
+	if !j.Admitted {
+		e.ev.Record(root, now, trace.EvJobReject, tenant, int64(j.ID))
+		if e.met != nil {
+			e.met.jobsRejected.Inc()
+		}
+		return
+	}
+	e.ev.Record(root, now, trace.EvJobAdmit, tenant, int64(j.ID))
+	if e.met != nil {
+		e.met.jobsAdmitted.Inc()
+	}
+	sv.live[idx] += int64(len(j.Waves[0]))
+	sv.waveNext[idx] = 1
+	e.injectNodes(root, j.Waves[0])
+}
+
+// injectNodes roots a wave of fresh work at rank r, mirroring the
+// work-acceptance half of the TagWork handler: an idle rank ends its
+// discovery session and starts computing; a working rank banks the
+// nodes into its stack.
+func (e *engine) injectNodes(r int, nodes []uts.Node) {
+	rk := &e.ranks[r]
+	now := e.kernel.Now()
+	rk.generated += uint64(len(nodes))
+	switch rk.state {
+	case rsWorking:
+		for i := range nodes {
+			rk.stack.Push(nodes[i])
+		}
+	case rsSearching, rsBackoff:
+		// A pending steal reply becomes stale: TagNoWork is dropped by
+		// the reqID check and TagWork loot is banked, so clearing the
+		// victim here loses nothing.
+		rk.pendingVictim = -1
+		rk.lineage = 0
+		if e.rec != nil {
+			e.rec.EndSession(r, now, true)
+		}
+		if e.met != nil {
+			e.met.session.Observe(int64(now.Sub(rk.idleSince)))
+		}
+		e.recordState(r, now, trace.Active)
+		for i := range nodes {
+			rk.stack.Push(nodes[i])
+		}
+		e.startQuantum(r)
+	case rsDone, rsCrashed:
+		// Unreachable: the run only finishes after every admitted job
+		// drained, and serving excludes fault plans.
+	}
+}
+
+// svConsume books a node expansion against its job: d is
+// (children - 1) for an internal node and -1 for a leaf. Called from
+// startQuantum's expansion loop.
+func (e *engine) svConsume(job uint32, d int64) {
+	if e.par != nil {
+		// Parallel window: engine-local delta, folded at the barrier.
+		e.svDelta[job] += d
+		if d < 0 {
+			e.svLastDec[job] = e.kernel.Now()
+		}
+		return
+	}
+	sv := e.sv
+	sv.live[job] += d
+	if d < 0 && sv.live[job] == 0 {
+		sv.lastDec[job] = e.kernel.Now()
+		sv.pending = append(sv.pending, job)
+		if !sv.armed {
+			sv.armed = true
+			e.kernel.After(0, sv.resolveFn)
+		}
+	}
+}
+
+// svResolve drains the sequential completion queue: each parked job
+// either receives its next wave or completes.
+func (e *engine) svResolve() {
+	sv := e.sv
+	sv.armed = false
+	for i := 0; i < len(sv.pending); i++ {
+		job := sv.pending[i]
+		if sv.live[job] != 0 || sv.doneAt[job] >= 0 {
+			continue
+		}
+		j := &sv.sched.Jobs[job]
+		if int(sv.waveNext[job]) < len(j.Waves) {
+			w := j.Waves[sv.waveNext[job]]
+			sv.waveNext[job]++
+			sv.live[job] += int64(len(w))
+			e.injectNodes(int(j.Root), w)
+			continue
+		}
+		e.svComplete(job, sv.lastDec[job])
+	}
+	sv.pending = sv.pending[:0]
+	e.svCheckFinish()
+}
+
+// svComplete books job completion at instant at.
+func (e *engine) svComplete(job uint32, at sim.Time) {
+	sv := e.sv
+	j := &sv.sched.Jobs[job]
+	sv.doneAt[job] = at
+	if at > sv.maxDone {
+		sv.maxDone = at
+	}
+	sv.doneJobs++
+	e.ev.Record(int(j.Root), at, trace.EvJobDone, int(j.Tenant), int64(j.ID))
+	if e.met != nil {
+		e.met.jobsDone.Inc()
+		sojourn := int64(at.Sub(j.At))
+		e.met.jobSojourn.Observe(sojourn)
+		e.met.tenantSojourn[j.Tenant].Observe(sojourn)
+	}
+}
+
+// svHorizon is the horizon tick: it keeps the kernel alive through
+// the arrival window and, sequentially, arms the finish check.
+func (e *engine) svHorizon() {
+	if e.par != nil {
+		return // the barrier decides from window bounds instead
+	}
+	e.sv.horizonTicked = true
+	e.svCheckFinish()
+}
+
+// svCheckFinish ends a sequential serving run once the horizon has
+// ticked and every admitted job completed. The finish instant is the
+// current virtual time: the horizon itself when the jobs drained
+// early, or the final completion when the drain outlived it.
+func (e *engine) svCheckFinish() {
+	sv := e.sv
+	if sv.finished || !sv.horizonTicked || sv.doneJobs != sv.sched.Admitted {
+		return
+	}
+	sv.finished = true
+	e.serveFinish(e.kernel.Now())
+}
+
+// serveFinish ends the run at instant at: every rank is marked done
+// and its pending quantum cancelled. Events still queued (steal
+// retries, in-flight replies) no-op against rsDone ranks, so the
+// kernels drain. Called from sequential event context or from a
+// window barrier (workers quiescent); at never precedes a recorded
+// transition in either case.
+func (e *engine) serveFinish(at sim.Time) {
+	e.detected = true
+	e.detectedAt = at
+	if e.par != nil {
+		e.par.markDetected(at)
+	}
+	for r := range e.ranks {
+		rk := &e.ranks[r]
+		if rk.state == rsDone {
+			continue
+		}
+		e.ev.Record(r, at, trace.EvTerminate, -1, 0)
+		if e.rec != nil && rk.state != rsWorking {
+			e.rec.EndSession(r, at, false)
+		}
+		e.kernelFor(r).Cancel(rk.quantum)
+		rk.quantum = sim.Event{}
+		rk.state = rsDone
+		e.doneCount++
+	}
+}
+
+// serveBarrier folds the shard engines' per-window deltas into the
+// shared job counters, injects follow-up waves, and decides the
+// finish. Runs in the coordinator at each window barrier: workers are
+// quiescent, so cross-shard reads and writes are single-threaded and
+// the fold order (jobs ascending, shards ascending) is fixed.
+func (ps *parShared) serveBarrier(info par.WindowInfo) {
+	e0 := ps.engines[0]
+	sv := e0.sv
+	if sv.finished {
+		return
+	}
+	for j := range sv.live {
+		var last sim.Time = -1
+		for _, en := range ps.engines {
+			if en.svDelta[j] != 0 {
+				sv.live[j] += en.svDelta[j]
+				en.svDelta[j] = 0
+			}
+			if en.svLastDec[j] >= 0 {
+				if en.svLastDec[j] > last {
+					last = en.svLastDec[j]
+				}
+				en.svLastDec[j] = -1
+			}
+		}
+		if sv.live[j] != 0 || sv.waveNext[j] == 0 || sv.doneAt[j] >= 0 {
+			continue
+		}
+		if last < 0 {
+			last = info.Start
+		}
+		job := &sv.sched.Jobs[j]
+		if int(sv.waveNext[j]) < len(job.Waves) {
+			w := job.Waves[sv.waveNext[j]]
+			sv.waveNext[j]++
+			sv.live[j] += int64(len(w))
+			root := int(job.Root)
+			oe := ps.engines[ps.shardOf[root]]
+			oe.kernel.At(info.Start, func() { oe.injectNodes(root, w) })
+			continue
+		}
+		e0.svComplete(uint32(j), last)
+	}
+	if sv.doneJobs == sv.sched.Admitted && info.Start > sv.horizonAt {
+		sv.finished = true
+		e0.serveFinish(info.Start)
+	}
+}

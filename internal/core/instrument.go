@@ -1,6 +1,10 @@
 package core
 
-import "distws/internal/obs"
+import (
+	"strconv"
+
+	"distws/internal/obs"
+)
 
 // MatrixRankLimit caps the rank count for which the engine maintains a
 // dense per-link traffic matrix in the metrics registry: the matrix is
@@ -38,6 +42,18 @@ const (
 	MetricRecoveryLatency = "sim_recovery_latency_ns"
 )
 
+// Serving metric names, registered only when Config.Serve is set — the
+// same gating discipline as the fault metrics, so closed-system
+// expositions stay byte-identical. The per-tenant sojourn histograms
+// are MetricJobSojourn suffixed with "_tenant<i>".
+const (
+	MetricJobsArrived  = "sim_serve_jobs_arrived_total"
+	MetricJobsAdmitted = "sim_serve_jobs_admitted_total"
+	MetricJobsRejected = "sim_serve_jobs_rejected_total"
+	MetricJobsDone     = "sim_serve_jobs_done_total"
+	MetricJobSojourn   = "sim_serve_job_sojourn_ns"
+)
+
 // engineMetrics pre-resolves the registry handles the hot paths touch,
 // so instrumentation costs one nil check plus an atomic add instead of
 // a map lookup. A nil *engineMetrics disables metrics collection; the
@@ -62,9 +78,21 @@ type engineMetrics struct {
 	dupMessages     *obs.Counter
 	tokenRegens     *obs.Counter
 	recoveryLatency *obs.Histogram
+
+	// Serving handles; nil for closed-system runs.
+	jobsArrived   *obs.Counter
+	jobsAdmitted  *obs.Counter
+	jobsRejected  *obs.Counter
+	jobsDone      *obs.Counter
+	jobSojourn    *obs.Histogram
+	tenantSojourn []*obs.Histogram
 }
 
-func newEngineMetrics(reg *obs.Registry, ranks int, faulted bool) *engineMetrics {
+// newEngineMetrics resolves the handle set for a run: the core handles
+// always, the fault handles when a fault plan is active, and the
+// serving handles (including tenants per-tenant sojourn histograms)
+// when tenants > 0.
+func newEngineMetrics(reg *obs.Registry, ranks int, faulted bool, tenants int) *engineMetrics {
 	if reg == nil {
 		return nil
 	}
@@ -88,6 +116,17 @@ func newEngineMetrics(reg *obs.Registry, ranks int, faulted bool) *engineMetrics
 		m.dupMessages = reg.Counter(MetricDupMessages)
 		m.tokenRegens = reg.Counter(MetricTokenRegens)
 		m.recoveryLatency = reg.Histogram(MetricRecoveryLatency)
+	}
+	if tenants > 0 {
+		m.jobsArrived = reg.Counter(MetricJobsArrived)
+		m.jobsAdmitted = reg.Counter(MetricJobsAdmitted)
+		m.jobsRejected = reg.Counter(MetricJobsRejected)
+		m.jobsDone = reg.Counter(MetricJobsDone)
+		m.jobSojourn = reg.Histogram(MetricJobSojourn)
+		m.tenantSojourn = make([]*obs.Histogram, tenants)
+		for i := range m.tenantSojourn {
+			m.tenantSojourn[i] = reg.Histogram(MetricJobSojourn + "_tenant" + strconv.Itoa(i))
+		}
 	}
 	return m
 }

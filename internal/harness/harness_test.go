@@ -40,7 +40,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-chunk", "ablation-poll", "ablation-selectors",
 		"ablation-term", "ablation-skew", "ablation-backoff",
 		"ablation-protocol", "ablation-aborts", "ablation-jitter", "ext-dag",
-		"blame", "chaos",
+		"blame", "chaos", "serving",
 	}
 	for _, id := range want {
 		e, ok := Lookup(id)

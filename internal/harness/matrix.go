@@ -8,6 +8,7 @@ import (
 
 	"distws/internal/obs/diff"
 	"distws/internal/obs/ledger"
+	"distws/internal/serve"
 	"distws/internal/sim"
 	"distws/internal/topology"
 	"distws/internal/uts"
@@ -93,6 +94,46 @@ func cellID(tree string, ranks int, variant string, chaos bool) string {
 // every scale's rank counts can host it.
 const matrixParShards = 4
 
+// matrixServeSpec is the serving cell's fixed two-tenant plan: a gold
+// tenant under a tight token bucket (so the baseline pins nonzero
+// rejections) and a best-effort silver tenant, both injecting small
+// trees (E[nodes] ≈ 200, ≈200µs of serial work per job). The offered
+// load is absolute, not scaled to the cell's rank count — the cell is
+// a schema and determinism gate, not a saturation study.
+func matrixServeSpec(scale Scale) *serve.Spec {
+	tree := uts.Params{
+		Type:        uts.Binomial,
+		B0:          20,
+		NonLeafBF:   2,
+		NonLeafProb: 0.45,
+		RootSeed:    31,
+		Hash:        uts.HashFast,
+	}
+	horizon := 20 * sim.Millisecond
+	if scale != Quick {
+		horizon = 40 * sim.Millisecond
+	}
+	return &serve.Spec{
+		Horizon:   horizon,
+		Placement: serve.PlaceRR,
+		Tenants: []serve.Tenant{
+			{
+				Name:    "gold",
+				Arrival: serve.ArrivalSpec{Process: serve.ProcPoisson, Mean: sim.Millisecond},
+				Admit:   serve.Bucket{Rate: 150, Burst: 2},
+				SLO:     serve.SLO{Class: "gold", Target: 10 * sim.Millisecond},
+				Work:    serve.Workload{Kind: serve.WorkUTS, Tree: tree},
+			},
+			{
+				Name:    "silver",
+				Arrival: serve.ArrivalSpec{Process: serve.ProcGamma, Mean: 6 * sim.Millisecond, Shape: 2},
+				SLO:     serve.SLO{Class: "best-effort"},
+				Work:    serve.Workload{Kind: serve.WorkUTS, Tree: tree},
+			},
+		},
+	}
+}
+
 // matrixCells builds the fault-free grid in presentation order.
 func matrixCells(opt MatrixOptions) []matrixCell {
 	tree := matrixTree(opt.Scale)
@@ -160,6 +201,24 @@ func RunMatrix(opt MatrixOptions) ([]*ledger.Manifest, error) {
 			Ranks: chaosRanks, Placement: topology.OnePerNode, Tree: params,
 			NodeCost: experimentNodeCost, Trace: true, Events: true,
 			Seed: opt.Seed, Shards: matrixParShards, ParProfile: true,
+		},
+	})
+
+	// One open-system serving cell: its manifest carries the `serve`
+	// section (per-tenant goodput, sojourn percentiles, admission
+	// counts, Jain), so the tolerance gate tracks serving behaviour and
+	// the serve schema round-trips through the baseline. The workload is
+	// the spec's own small per-tenant tree, not the scale preset — job
+	// size stays bounded while rank counts grow with scale.
+	serveID := fmt.Sprintf("serve-%d-%s", chaosRanks, strings.ToLower(Tofu.Name))
+	cells = append(cells, matrixCell{
+		id:   serveID,
+		tree: "SERVE",
+		run: Run{
+			Label: serveID, Variant: Tofu,
+			Ranks: chaosRanks, Placement: topology.OnePerNode,
+			NodeCost: experimentNodeCost, Trace: true, Events: true,
+			Seed: opt.Seed, Serve: matrixServeSpec(opt.Scale),
 		},
 	})
 

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -57,8 +59,8 @@ func TestMatrixGatesItself(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Fault-free grid + the chaos cell + the sharded profiled cell.
-	wantCells := len(matrixRanks(Quick))*len(matrixVariants) + 2
+	// Fault-free grid + the chaos, sharded-profiled, and serving cells.
+	wantCells := len(matrixRanks(Quick))*len(matrixVariants) + 3
 	if len(ms) != wantCells {
 		t.Fatalf("matrix produced %d cells, want %d", len(ms), wantCells)
 	}
@@ -66,19 +68,19 @@ func TestMatrixGatesItself(t *testing.T) {
 	for _, m := range ms {
 		ids[m.ID] = true
 	}
-	for _, want := range []string{"h-tiny-16-reference", "h-tiny-32-rand", "h-tiny-32-tofu-chaos", "h-tiny-32-tofu-par4"} {
+	for _, want := range []string{"h-tiny-16-reference", "h-tiny-32-rand", "h-tiny-32-tofu-chaos", "h-tiny-32-tofu-par4", "serve-32-tofu"} {
 		if !ids[want] {
 			t.Errorf("matrix is missing cell %q (have %v)", want, ids)
 		}
 	}
-	chaos := ms[len(ms)-2]
+	chaos := ms[len(ms)-3]
 	if chaos.Spec.FaultPlanHash == "" {
 		t.Error("chaos cell has no fault plan hash")
 	}
 	if chaos.Result.LostNodes == 0 && chaos.Result.CrashedRanks == 0 {
 		t.Error("chaos cell shows no fault effects")
 	}
-	par := ms[len(ms)-1]
+	par := ms[len(ms)-2]
 	if par.Par == nil {
 		t.Fatal("par cell has no parallel-kernel profile")
 	}
@@ -88,6 +90,23 @@ func TestMatrixGatesItself(t *testing.T) {
 	}
 	if par.Par.Windows == 0 || par.Par.Staged == 0 {
 		t.Errorf("par cell profile is empty: %+v", par.Par)
+	}
+	sv := ms[len(ms)-1]
+	if sv.Serve == nil {
+		t.Fatal("serving cell has no serve section")
+	}
+	if sv.Spec.ServeHash == "" {
+		t.Error("serving cell has no serve spec hash")
+	}
+	if sv.Serve.Admitted+sv.Serve.Rejected != sv.Serve.Arrived || sv.Serve.Done != sv.Serve.Admitted {
+		t.Errorf("serving cell books %d arrived, %d admitted, %d rejected, %d done",
+			sv.Serve.Arrived, sv.Serve.Admitted, sv.Serve.Rejected, sv.Serve.Done)
+	}
+	if sv.Serve.Rejected == 0 {
+		t.Error("serving cell's token bucket rejected nothing; the baseline would not pin admission control")
+	}
+	if len(sv.Serve.Tenants) != 2 {
+		t.Errorf("serving cell has %d tenant rows, want 2", len(sv.Serve.Tenants))
 	}
 
 	dir := t.TempDir()
@@ -144,6 +163,48 @@ func TestMatrixGateFailsUnderPerturbation(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "OUT OF BAND") {
 		t.Errorf("gate report does not flag the violation:\n%s", buf.String())
+	}
+}
+
+// TestMatrixPinsCommittedBaseline regenerates the quick matrix with the
+// committed seed and requires every cell's manifest to be byte-identical
+// to the golden ledger under artifacts/runs/baseline/. This is stricter
+// than the band gate on purpose: it proves that growing the grid (the
+// serving cell rode in this way) leaves every pre-existing baseline
+// file untouched, and that the ledger is reproducible from a clean
+// checkout. A deliberate behaviour change rebaselines with
+// `make matrix-baseline` and commits the diff.
+func TestMatrixPinsCommittedBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	const dir = "../../artifacts/runs/baseline"
+	ms, err := RunMatrix(matrixOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		want, err := os.ReadFile(filepath.Join(dir, m.FileName()))
+		if err != nil {
+			t.Errorf("cell %s: no committed baseline (%v); run `make matrix-baseline` and commit it", m.ID, err)
+			continue
+		}
+		got, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("cell %s: manifest drifted from the committed baseline (rebaseline with `make matrix-baseline` if deliberate)", m.ID)
+		}
+	}
+	// And the other direction: the committed ledger holds nothing the
+	// matrix no longer produces.
+	base, err := ledger.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(ms) {
+		t.Errorf("baseline has %d manifests, matrix produces %d", len(base), len(ms))
 	}
 }
 

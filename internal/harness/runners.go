@@ -7,6 +7,7 @@ import (
 
 	"distws/internal/core"
 	"distws/internal/fault"
+	"distws/internal/serve"
 	"distws/internal/sim"
 	"distws/internal/term"
 	"distws/internal/topology"
@@ -75,6 +76,12 @@ type Run struct {
 	// ParProfile records the parallel-kernel window ledger into the
 	// result (core.Config.ParProfile).
 	ParProfile bool
+	// Serve switches the run into open-system serving mode when set
+	// (core.Config.Serve); Tree is then ignored. Serving runs keep the
+	// retry backoff enabled regardless of rank count — idle ranks spin
+	// between arrivals, and unthrottled retries would dominate the
+	// event count without changing any serving metric.
+	Serve *serve.Spec
 }
 
 // config materializes the core.Config for a run.
@@ -102,10 +109,13 @@ func (r Run) config() core.Config {
 		Faults:        r.Faults,
 		Shards:        r.Shards,
 		ParProfile:    r.ParProfile,
+		Serve:         r.Serve,
 	}
 	switch {
 	case r.Backoff != (core.Backoff{}):
 		cfg.BackoffPolicy = r.Backoff
+	case r.Serve != nil:
+		// Serving: keep the default backoff (see the Serve field).
 	case r.Ranks <= backoffThresholdRanks:
 		cfg.BackoffPolicy = core.Backoff{Threshold: -1}
 	}

@@ -39,4 +39,12 @@ var kindDisposition = [trace.NumEventKinds]string{
 		"matching; the marker only flags that the ring was repaired",
 	trace.EvMsgDrop: "inert: a dropped message has no receive event, so tail-aligned " +
 		"matching skips its unmatched send; the drop marker creates no edge",
+	trace.EvJobArrive: "inert: job arrival is an open-system boundary event with no " +
+		"intra-run cause; the injected work's own quantum events carry the causal weight",
+	trace.EvJobAdmit: "inert: admission only gates whether root work is injected; the " +
+		"injected quantum and steal events downstream carry the causal weight",
+	trace.EvJobReject: "inert: a rejected job injects nothing, so there is no effect " +
+		"to attribute; rejection counts live in the serve manifest, not the graph",
+	trace.EvJobDone: "inert: job completion is derived bookkeeping over the work ledger; " +
+		"the final leaf's quantum already ends the causal chain",
 }

@@ -109,6 +109,14 @@ type Tolerances struct {
 	// SerializedShare bounds the absolute shift of the parallel kernel's
 	// serialized-window share (profiled cells only).
 	SerializedShare Band
+	// Goodput bounds the relative drift of each tenant's SLO-met
+	// goodput (serving cells only).
+	Goodput Band
+	// SojournP95 bounds the relative drift of each tenant's p95 sojourn
+	// latency (serving cells only).
+	SojournP95 Band
+	// Jain bounds the absolute shift of the serving fairness index.
+	Jain Band
 }
 
 // DefaultTolerances is the matrix gate's committed policy (documented
@@ -123,6 +131,9 @@ func DefaultTolerances() Tolerances {
 		BlameShare:       Band{Abs: 0.05},
 		LostNodes:        Band{Rel: 0.25, Abs: 64},
 		SerializedShare:  Band{Abs: 0.05},
+		Goodput:          Band{Rel: 0.05, Abs: 1},
+		SojournP95:       Band{Rel: 0.10},
+		Jain:             Band{Abs: 0.05},
 	}
 }
 
@@ -194,5 +205,24 @@ func GateManifests(g *Gate, id string, base, got *ledger.Manifest, t Tolerances)
 			return float64(p.Serialized) / float64(p.Windows)
 		}
 		g.Check(id+"/par_serialized_share", t.SerializedShare, pshare(base.Par), pshare(got.Par))
+	}
+
+	if base.Serve != nil && got.Serve != nil {
+		// The admission counts are exact (zero band): the compiled
+		// schedule is a pure function of (spec, seed), so any drift is a
+		// determinism break, not tuning noise.
+		g.Check(id+"/serve_arrived", Band{}, float64(base.Serve.Arrived), float64(got.Serve.Arrived))
+		g.Check(id+"/serve_admitted", Band{}, float64(base.Serve.Admitted), float64(got.Serve.Admitted))
+		g.Check(id+"/serve_jain", t.Jain, base.Serve.Jain, got.Serve.Jain)
+		n := len(base.Serve.Tenants)
+		if len(got.Serve.Tenants) < n {
+			n = len(got.Serve.Tenants)
+		}
+		for i := 0; i < n; i++ {
+			bt, gt := &base.Serve.Tenants[i], &got.Serve.Tenants[i]
+			g.Check(id+"/serve_goodput_"+bt.Name, t.Goodput, bt.GoodputPerSec, gt.GoodputPerSec)
+			g.Check(id+"/serve_sojourn_p95_"+bt.Name, t.SojournP95,
+				float64(bt.SojournP95NS), float64(gt.SojournP95NS))
+		}
 	}
 }

@@ -1,0 +1,124 @@
+package diff
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"distws/internal/core"
+	"distws/internal/obs/ledger"
+	"distws/internal/serve"
+	"distws/internal/sim"
+	"distws/internal/topology"
+	"distws/internal/uts"
+	"distws/internal/victim"
+)
+
+// serveManifest runs a small two-tenant serving cell, so the manifest
+// carries a serve section to gate.
+func serveManifest(t *testing.T, id string, seed uint64) *ledger.Manifest {
+	t.Helper()
+	tree := uts.Params{
+		Type:        uts.Binomial,
+		B0:          20,
+		NonLeafBF:   2,
+		NonLeafProb: 0.45,
+		RootSeed:    31,
+		Hash:        uts.HashFast,
+	}
+	cfg := core.Config{
+		Ranks:     8,
+		Placement: topology.OnePerNode,
+		Selector:  victim.NewDistanceSkewed,
+		Seed:      seed,
+		ChunkSize: 4,
+		Serve: &serve.Spec{
+			Horizon:   50 * sim.Millisecond,
+			Placement: serve.PlaceRR,
+			Tenants: []serve.Tenant{
+				{
+					Name:    "gold",
+					Arrival: serve.ArrivalSpec{Process: serve.ProcPoisson, Mean: sim.Millisecond},
+					Admit:   serve.Bucket{Rate: 150, Burst: 2},
+					SLO:     serve.SLO{Class: "gold", Target: 10 * sim.Millisecond},
+					Work:    serve.Workload{Kind: serve.WorkUTS, Tree: tree},
+				},
+				{
+					Name:    "silver",
+					Arrival: serve.ArrivalSpec{Process: serve.ProcGamma, Mean: 6 * sim.Millisecond, Shape: 2},
+					Work:    serve.Workload{Kind: serve.WorkUTS, Tree: tree},
+				},
+			},
+		},
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ledger.SpecFromConfig("SERVE", "", cfg)
+	spec.Selector = "Tofu"
+	m := ledger.FromRun(id, spec, res)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("manifest %s invalid: %v", id, err)
+	}
+	return m
+}
+
+// TestServeGate: identical serving runs pass the gate; the serve checks
+// only exist when both sides carry a serve section; and an out-of-band
+// goodput drift — or any admission-count drift at all — trips it.
+func TestServeGate(t *testing.T) {
+	a := serveManifest(t, "gate", 5)
+	b := serveManifest(t, "gate", 5)
+	tol := DefaultTolerances()
+
+	g := &Gate{}
+	GateManifests(g, a.ID, a, b, tol)
+	if !g.OK() {
+		var buf bytes.Buffer
+		g.Report(&buf)
+		t.Fatalf("identical serving runs fail the gate:\n%s", buf.String())
+	}
+	// arrived + admitted + jain + 2 metrics per tenant.
+	wantServeChecks := 3 + 2*len(a.Serve.Tenants)
+	aPlain, bPlain := *a, *b
+	aPlain.Serve, bPlain.Serve = nil, nil
+	plain := &Gate{}
+	GateManifests(plain, a.ID, &aPlain, &bPlain, tol)
+	if g.Checked != plain.Checked+wantServeChecks {
+		t.Fatalf("serving gate checked %d metrics, plain %d; want exactly %d more",
+			g.Checked, plain.Checked, wantServeChecks)
+	}
+
+	// A goodput drift beyond the ±5% (+1 absolute) band trips the
+	// tenant's check.
+	drift := *b
+	driftServe := *b.Serve
+	driftServe.Tenants = append([]ledger.ServeTenantRow(nil), b.Serve.Tenants...)
+	driftServe.Tenants[0].GoodputPerSec = driftServe.Tenants[0].GoodputPerSec*1.2 + 5
+	drift.Serve = &driftServe
+	g = &Gate{}
+	GateManifests(g, a.ID, a, &drift, tol)
+	if g.OK() {
+		t.Fatal("20% goodput drift stayed inside the band")
+	}
+	var buf bytes.Buffer
+	if err := g.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "serve_goodput_gold") {
+		t.Errorf("gate report does not name the gold goodput check:\n%s", buf.String())
+	}
+
+	// Admission counts carry a zero band: a single extra arrival is a
+	// determinism break and must fail, no matter how small.
+	drift2 := *b
+	driftServe2 := *b.Serve
+	driftServe2.Arrived++
+	drift2.Serve = &driftServe2
+	g = &Gate{}
+	GateManifests(g, a.ID, a, &drift2, tol)
+	if g.OK() {
+		t.Fatal("an off-by-one arrival count passed the exact serve_arrived check")
+	}
+}

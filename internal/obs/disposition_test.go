@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"distws/internal/trace"
+)
+
+// TestKindDispositionCoversEveryEventKind is the drift gate for the
+// exporter disposition table: every event kind in the trace vocabulary
+// must declare both a Chrome rendering and a Prometheus treatment.
+// Adding a kind to internal/trace without extending kindDispositions
+// fails here, so job-style event kinds cannot land without an explicit
+// exporter decision.
+func TestKindDispositionCoversEveryEventKind(t *testing.T) {
+	for k := trace.EventKind(0); k < trace.NumEventKinds; k++ {
+		d := KindDisposition(k)
+		if d.Chrome == "" {
+			t.Errorf("kind %v has no Chrome disposition; extend kindDispositions", k)
+		}
+		if d.Prometheus == "" {
+			t.Errorf("kind %v has no Prometheus disposition; extend kindDispositions", k)
+		}
+		if d.Prometheus != "" && !strings.HasPrefix(d.Prometheus, "sim_") && !strings.HasPrefix(d.Prometheus, "none:") {
+			t.Errorf("kind %v Prometheus disposition %q must name a sim_* metric or start with \"none:\" and a reason", k, d.Prometheus)
+		}
+	}
+	if KindDisposition(trace.NumEventKinds) != (ExportDisposition{}) {
+		t.Error("out-of-range kind returned a non-zero disposition")
+	}
+}
+
+// TestJobKindsHaveServingMetrics pins the serving event kinds to their
+// metric families: the disposition table is where that contract lives.
+func TestJobKindsHaveServingMetrics(t *testing.T) {
+	want := map[trace.EventKind]string{
+		trace.EvJobArrive: "sim_serve_jobs_arrived_total",
+		trace.EvJobAdmit:  "sim_serve_jobs_admitted_total",
+		trace.EvJobReject: "sim_serve_jobs_rejected_total",
+		trace.EvJobDone:   "sim_serve_jobs_done_total",
+	}
+	for k, metric := range want {
+		if d := KindDisposition(k); !strings.Contains(d.Prometheus, metric) {
+			t.Errorf("kind %v disposition %q does not reference %s", k, d.Prometheus, metric)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"distws/internal/obs"
 	"distws/internal/obs/causal"
 	"distws/internal/obs/parprof"
+	"distws/internal/serve"
 	"distws/internal/sim"
 	"distws/internal/trace"
 )
@@ -70,6 +71,10 @@ type Spec struct {
 	// FaultPlanHash commits to the exact injected adversity; "" for
 	// fault-free runs.
 	FaultPlanHash string `json:"fault_plan_hash,omitempty"`
+	// ServeHash commits to the open-system serving spec (tenants,
+	// arrival processes, admission buckets, horizon); "" for
+	// closed-system runs, so their fingerprints are unchanged.
+	ServeHash string `json:"serve_hash,omitempty"`
 }
 
 // Fingerprint returns a short stable digest of the spec, used as the
@@ -94,6 +99,20 @@ func PlanHash(p *fault.Plan) string {
 	data, err := json.Marshal(p)
 	if err != nil {
 		panic(fmt.Sprintf("ledger: marshal fault plan: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// ServeHash returns the stable digest of a serving spec ("" for nil,
+// i.e. a closed-system run).
+func ServeHash(s *serve.Spec) string {
+	if s == nil {
+		return ""
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("ledger: marshal serve spec: %v", err))
 	}
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:8])
@@ -218,6 +237,39 @@ type ParSummary struct {
 	Traffic [][]uint64 `json:"traffic,omitempty"`
 }
 
+// ServeTenantRow is one tenant's serving outcome in the manifest.
+type ServeTenantRow struct {
+	Name          string  `json:"name"`
+	Class         string  `json:"class,omitempty"`
+	Arrived       uint64  `json:"arrived"`
+	Admitted      uint64  `json:"admitted"`
+	Rejected      uint64  `json:"rejected"`
+	Done          uint64  `json:"done"`
+	SLOMet        uint64  `json:"slo_met"`
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	SojournP50NS  int64   `json:"sojourn_p50_ns"`
+	SojournP95NS  int64   `json:"sojourn_p95_ns"`
+	SojournP99NS  int64   `json:"sojourn_p99_ns"`
+}
+
+// ServeSummary is the open-system serving section, present when the
+// run had core.Config.Serve set. Identities checked by Validate: the
+// admission verdicts partition the arrivals (admitted + rejected ==
+// arrived), globally and per tenant, and the tenant rows sum to the
+// global counts.
+type ServeSummary struct {
+	Arrived  uint64 `json:"arrived"`
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"`
+	Done     uint64 `json:"done"`
+	// FinishNS is the virtual instant the run ended (== the makespan:
+	// serving runs start at virtual zero).
+	FinishNS int64 `json:"finish_ns"`
+	// Jain is Jain's fairness index over tenant goodput, in (0, 1].
+	Jain    float64          `json:"jain"`
+	Tenants []ServeTenantRow `json:"tenants"`
+}
+
 // StealSummary holds the reconstructed steal-transaction statistics.
 type StealSummary struct {
 	Count      int   `json:"count"`
@@ -253,6 +305,9 @@ type Manifest struct {
 	// Par is the parallel-kernel window profile, present when the run
 	// was profiled (core.Config.ParProfile).
 	Par *ParSummary `json:"par,omitempty"`
+	// Serve is the open-system serving section, present when the run
+	// had core.Config.Serve set.
+	Serve *ServeSummary `json:"serve,omitempty"`
 }
 
 // FromRun builds the manifest for one completed run. The build only
@@ -311,7 +366,39 @@ func FromRun(id string, spec Spec, res *core.Result) *Manifest {
 	if res.Par != nil {
 		m.Par = parSummary(res.Par)
 	}
+	if res.Serve != nil {
+		m.Serve = serveSummary(res.Serve)
+	}
 	return m
+}
+
+// serveSummary converts the engine's serving stats into the manifest
+// section.
+func serveSummary(st *serve.Stats) *ServeSummary {
+	s := &ServeSummary{
+		Arrived:  st.Arrived,
+		Admitted: st.Admitted,
+		Rejected: st.Rejected,
+		Done:     st.Done,
+		FinishNS: int64(st.Finish),
+		Jain:     st.Jain,
+	}
+	for _, ts := range st.Tenants {
+		s.Tenants = append(s.Tenants, ServeTenantRow{
+			Name:          ts.Name,
+			Class:         ts.Class,
+			Arrived:       ts.Arrived,
+			Admitted:      ts.Admitted,
+			Rejected:      ts.Rejected,
+			Done:          ts.Done,
+			SLOMet:        ts.SLOMet,
+			GoodputPerSec: ts.GoodputPerSec,
+			SojournP50NS:  int64(ts.SojournP50),
+			SojournP95NS:  int64(ts.SojournP95),
+			SojournP99NS:  int64(ts.SojournP99),
+		})
+	}
+	return s
 }
 
 // parSummary converts a window ledger into the manifest section.
@@ -425,6 +512,7 @@ func SpecFromConfig(tree, scale string, cfg core.Config) Spec {
 		Seed:          cfg.Seed,
 		Scale:         scale,
 		FaultPlanHash: PlanHash(cfg.Faults),
+		ServeHash:     ServeHash(cfg.Serve),
 	}
 	if cfg.Shards > 1 {
 		s.Shards = cfg.Shards
@@ -518,6 +606,46 @@ func (m *Manifest) Validate() error {
 		if err := m.Par.validate(); err != nil {
 			return err
 		}
+	}
+	if m.Serve != nil {
+		if err := m.Serve.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks the serving section's admission partition identities.
+func (s *ServeSummary) validate() error {
+	if s.Admitted+s.Rejected != s.Arrived {
+		return fmt.Errorf("ledger: serve admitted %d + rejected %d != arrived %d",
+			s.Admitted, s.Rejected, s.Arrived)
+	}
+	if s.Done > s.Admitted {
+		return fmt.Errorf("ledger: serve completed %d of %d admitted jobs", s.Done, s.Admitted)
+	}
+	if s.Jain < 0 || s.Jain > 1 {
+		return fmt.Errorf("ledger: serve Jain index %v out of [0, 1]", s.Jain)
+	}
+	if len(s.Tenants) == 0 {
+		return fmt.Errorf("ledger: serve section has no tenant rows")
+	}
+	var sum ServeTenantRow
+	for _, t := range s.Tenants {
+		if t.Admitted+t.Rejected != t.Arrived {
+			return fmt.Errorf("ledger: serve tenant %q admitted %d + rejected %d != arrived %d",
+				t.Name, t.Admitted, t.Rejected, t.Arrived)
+		}
+		sum.Arrived += t.Arrived
+		sum.Admitted += t.Admitted
+		sum.Rejected += t.Rejected
+		sum.Done += t.Done
+	}
+	if sum.Arrived != s.Arrived || sum.Admitted != s.Admitted ||
+		sum.Rejected != s.Rejected || sum.Done != s.Done {
+		return fmt.Errorf("ledger: serve tenant rows sum to %d/%d/%d/%d (arrived/admitted/rejected/done), global says %d/%d/%d/%d",
+			sum.Arrived, sum.Admitted, sum.Rejected, sum.Done,
+			s.Arrived, s.Admitted, s.Rejected, s.Done)
 	}
 	return nil
 }

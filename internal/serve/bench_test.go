@@ -1,0 +1,25 @@
+package serve
+
+import (
+	"testing"
+
+	"distws/internal/sim"
+)
+
+// BenchmarkServeArrivals measures the Compile hot path: one arrival
+// draw plus its token-bucket admission. Folded into BENCH_sim.json by
+// cmd/benchjson and gated at 0 allocs/op.
+func BenchmarkServeArrivals(b *testing.B) {
+	g := NewGen(ArrivalSpec{Process: ProcGamma, Mean: sim.Millisecond, Shape: 2}, 7, 0)
+	a := NewAdmitter(Bucket{Rate: 500, Burst: 2})
+	var admitted uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at, _ := g.Next()
+		if a.Admit(at) {
+			admitted++
+		}
+	}
+	_ = admitted
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"distws/internal/dag"
+	"distws/internal/rng"
+	"distws/internal/sim"
+	"distws/internal/uts"
+)
+
+// maxArrivalsPerTenant bounds runaway schedules (a tiny mean against a
+// huge horizon); Compile fails loudly rather than truncating silently.
+const maxArrivalsPerTenant = 1 << 20
+
+// Job is one compiled arrival: everything the engine needs to replay
+// it is resolved here, before the simulation starts.
+type Job struct {
+	// ID is the job's index in Schedule.Jobs and the value stamped
+	// into uts.Node.Job for every node the job owns.
+	ID uint32
+	// Tenant and Seq identify the source: Seq is the job's per-tenant
+	// arrival sequence number.
+	Tenant int32
+	Seq    int32
+	// At is the arrival instant (strictly before the horizon).
+	At sim.Time
+	// Admitted is the token-bucket (and job-cap) verdict. Rejected
+	// jobs inject nothing; they exist for the EvJobReject record and
+	// the admitted+rejected == arrived identity.
+	Admitted bool
+	// Root is the placement-chosen rank the job's waves are injected
+	// at (assigned to rejected jobs too — routing precedes admission).
+	Root int32
+	// Tree is the parameter set governing expansion of this job's
+	// nodes (admitted jobs only). UTS jobs carry the tenant's tree
+	// with a per-job RootSeed; DAG jobs carry the synthetic
+	// guaranteed-leaf parameters.
+	Tree uts.Params
+	// Waves are the injection waves (admitted jobs only): wave 0 goes
+	// in at the arrival instant, wave w+1 once wave w has fully
+	// drained. UTS jobs have exactly one wave holding the root; DAG
+	// jobs have one wave per layer.
+	Waves [][]uts.Node
+}
+
+// Schedule is the compiled open-loop arrival plan: a pure function of
+// (Spec, ranks, seed, nodeCost), replayed verbatim by the engine.
+type Schedule struct {
+	Spec     *Spec
+	Ranks    int
+	Seed     uint64
+	NodeCost sim.Duration
+
+	// Jobs in arrival order (ties broken by tenant, then sequence).
+	Jobs []Job
+	// Admitted counts jobs with Admitted set.
+	Admitted int
+	// LastArrival is the latest arrival instant (-1 when no jobs).
+	LastArrival sim.Time
+	// InjectedNodes is the total node count across all admitted jobs'
+	// waves — the schedule's offered load in NodeCost units for DAG
+	// jobs, and the injected roots for UTS jobs (whose load unfolds
+	// during the run).
+	InjectedNodes int64
+}
+
+// Compile resolves every random choice of the serving run: arrival
+// instants, admission verdicts, placements, and each admitted job's
+// workload. nodeCost calibrates DAG task costs into guaranteed-leaf
+// node counts; it must match the engine's Config.NodeCost.
+func Compile(spec *Spec, ranks int, seed uint64, nodeCost sim.Duration) (*Schedule, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if ranks < 1 {
+		return nil, fmt.Errorf("serve: %d ranks", ranks)
+	}
+	if nodeCost <= 0 {
+		return nil, fmt.Errorf("serve: non-positive node cost %v", nodeCost)
+	}
+	sched := &Schedule{
+		Spec:        spec,
+		Ranks:       ranks,
+		Seed:        seed,
+		NodeCost:    nodeCost,
+		LastArrival: -1,
+	}
+
+	// Phase 1: draw every tenant's arrival instants up to the horizon.
+	horizon := sim.Time(0).Add(spec.Horizon)
+	for ti := range spec.Tenants {
+		t := &spec.Tenants[ti]
+		g := NewGen(t.Arrival, seed, ti)
+		var seq int32
+		for {
+			at, ok := g.Next()
+			if !ok || at >= horizon {
+				break
+			}
+			if at < 0 {
+				continue
+			}
+			sched.Jobs = append(sched.Jobs, Job{
+				Tenant: int32(ti),
+				Seq:    seq,
+				At:     at,
+			})
+			seq++
+			if seq > maxArrivalsPerTenant {
+				return nil, fmt.Errorf("serve: tenant %d (%q) generates more than %d arrivals before the horizon",
+					ti, t.Name, maxArrivalsPerTenant)
+			}
+		}
+	}
+
+	// Phase 2: merge into global arrival order. The (At, Tenant, Seq)
+	// key is a total order, so the sort is deterministic. Replay
+	// traces may be unsorted; per-tenant Seq is reassigned afterward
+	// so sequence numbers always follow time.
+	sort.Slice(sched.Jobs, func(i, j int) bool {
+		a, b := &sched.Jobs[i], &sched.Jobs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		return a.Seq < b.Seq
+	})
+	seqs := make([]int32, len(spec.Tenants))
+	for i := range sched.Jobs {
+		j := &sched.Jobs[i]
+		j.Seq = seqs[j.Tenant]
+		seqs[j.Tenant]++
+	}
+
+	// Phase 3: placement and admission in arrival order.
+	placeRng := rng.New(rng.Mix64(seed ^ 0x9a1f64c58bd02e73))
+	admitters := make([]Admitter, len(spec.Tenants))
+	for ti := range spec.Tenants {
+		admitters[ti] = NewAdmitter(spec.Tenants[ti].Admit)
+	}
+	for i := range sched.Jobs {
+		j := &sched.Jobs[i]
+		j.ID = uint32(i)
+		switch spec.Placement {
+		case PlaceRandom:
+			j.Root = int32(placeRng.Uint64n(uint64(ranks)))
+		case PlaceSingle:
+			j.Root = 0
+		default: // PlaceRR
+			j.Root = int32(i % ranks)
+		}
+		j.Admitted = admitters[j.Tenant].Admit(j.At)
+		if j.Admitted && spec.MaxJobs > 0 && sched.Admitted >= spec.MaxJobs {
+			j.Admitted = false
+		}
+		if j.Admitted {
+			sched.Admitted++
+		}
+		if j.At > sched.LastArrival {
+			sched.LastArrival = j.At
+		}
+	}
+
+	// Phase 4: materialize the admitted jobs' workloads.
+	for i := range sched.Jobs {
+		j := &sched.Jobs[i]
+		if !j.Admitted {
+			continue
+		}
+		t := &spec.Tenants[j.Tenant]
+		switch t.Work.Kind {
+		case WorkUTS:
+			tree := t.Work.Tree
+			tree.RootSeed += j.Seq
+			root := tree.Root()
+			root.Job = j.ID
+			j.Tree = tree
+			j.Waves = [][]uts.Node{{root}}
+			sched.InjectedNodes++
+		case WorkDAG:
+			p := t.Work.DAG
+			p.Seed = rng.Mix64(p.Seed ^ rng.Mix64(uint64(j.ID)+0x7c3a))
+			waves, n, err := dagWaves(p, j.ID, nodeCost)
+			if err != nil {
+				return nil, fmt.Errorf("serve: tenant %d job %d: %w", j.Tenant, j.ID, err)
+			}
+			j.Tree = dagLeafParams
+			j.Waves = waves
+			sched.InjectedNodes += n
+		}
+	}
+	return sched, nil
+}
+
+// dagLeafParams guarantees every synthetic DAG node is a leaf: the
+// geometric law yields zero children at Height >= GenMax, and every
+// synthetic node is built at height 1 with GenMax 1. Expanding one
+// costs exactly one NodeCost unit, so a task of cost C modeled as
+// round(C/NodeCost) nodes consumes ~C of virtual compute.
+var dagLeafParams = uts.Params{
+	Type:   uts.Geometric,
+	B0:     1,
+	GenMax: 1,
+	Shape:  uts.ShapeFixed,
+}
+
+// dagWaves compiles one DAG job into per-layer injection waves.
+func dagWaves(p dag.Params, jobID uint32, nodeCost sim.Duration) ([][]uts.Node, int64, error) {
+	g, err := dag.Generate(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	layers := 0
+	for i := range g.Tasks {
+		if int(g.Tasks[i].Layer)+1 > layers {
+			layers = int(g.Tasks[i].Layer) + 1
+		}
+	}
+	waves := make([][]uts.Node, layers)
+	var total int64
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		k := int((t.Cost + nodeCost/2) / nodeCost)
+		if k < 1 {
+			k = 1
+		}
+		w := int(t.Layer)
+		for u := 0; u < k; u++ {
+			waves[w] = append(waves[w], dagNode(jobID, t.ID, u))
+			total++
+		}
+	}
+	return waves, total, nil
+}
+
+// dagNode builds one synthetic guaranteed-leaf node. The state bytes
+// only need to be deterministic — the node never generates children,
+// so they never feed a hash chain.
+func dagNode(jobID uint32, task int32, unit int) uts.Node {
+	n := uts.Node{Height: 1, Job: jobID}
+	v := rng.Mix64(uint64(jobID)<<32 | uint64(uint32(task)))
+	binary.BigEndian.PutUint64(n.State[0:8], v)
+	binary.BigEndian.PutUint64(n.State[8:16], rng.Mix64(v^uint64(unit)))
+	binary.BigEndian.PutUint32(n.State[16:20], uint32(unit))
+	return n
+}

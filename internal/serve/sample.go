@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"math"
+
+	"distws/internal/rng"
+	"distws/internal/sim"
+)
+
+// Gen draws one tenant's arrival instants in order. It is the
+// hot-path half of Compile — Next performs no allocation (gated by
+// BenchmarkServeArrivals), so schedules with millions of arrivals
+// compile in linear time and constant garbage.
+type Gen struct {
+	proc  string
+	r     *rng.Xoshiro256
+	now   sim.Time
+	mean  sim.Duration
+	shape float64
+	scale float64 // weibull draw scale
+	// gamma Marsaglia-Tsang constants for shape d = k - 1/3 (k >= 1).
+	gd, gc float64
+	// boost is U^(1/k) shape augmentation for gamma k < 1.
+	boost bool
+	trace []sim.Time
+	ti    int
+}
+
+// NewGen builds the generator for one tenant's arrival spec. The
+// stream is seeded from (seed, tenant index), so tenants are
+// statistically independent but jointly a pure function of the run
+// seed.
+func NewGen(a ArrivalSpec, seed uint64, tenant int) *Gen {
+	g := &Gen{
+		proc:  a.Process,
+		mean:  a.Mean,
+		shape: a.shape(),
+		trace: a.Trace,
+	}
+	g.r = rng.New(rng.Mix64(seed ^ rng.Mix64(uint64(tenant)+0x5e47a9f3c1d208b7)))
+	switch a.Process {
+	case ProcWeibull:
+		g.scale = weibullScale(a.Mean, g.shape)
+	case ProcGamma:
+		k := g.shape
+		if k < 1 {
+			g.boost = true
+			k++
+		}
+		g.gd = k - 1.0/3.0
+		g.gc = 1 / math.Sqrt(9*g.gd)
+	}
+	return g
+}
+
+// Next returns the next arrival instant, or ok=false when the process
+// is exhausted (replay only; stochastic processes never exhaust).
+func (g *Gen) Next() (sim.Time, bool) {
+	switch g.proc {
+	case ProcReplay:
+		if g.ti >= len(g.trace) {
+			return 0, false
+		}
+		t := g.trace[g.ti]
+		g.ti++
+		return t, true
+	case ProcPoisson:
+		g.now = g.now.Add(durScale(g.mean, g.exp()))
+	case ProcGamma:
+		// Gamma(k, θ) with θ = mean/k keeps the draw mean at Mean.
+		g.now = g.now.Add(durScale(g.mean, g.gamma()/g.shape))
+	case ProcWeibull:
+		d := sim.Duration(g.scale * math.Pow(g.exp(), 1/g.shape))
+		if d < 1 {
+			d = 1
+		}
+		g.now = g.now.Add(d)
+	}
+	return g.now, true
+}
+
+// durScale converts a unit-mean draw into a duration around mean,
+// clamped to at least one nanosecond so time always advances.
+func durScale(mean sim.Duration, f float64) sim.Duration {
+	d := sim.Duration(float64(mean) * f)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// exp draws a unit-mean exponential.
+func (g *Gen) exp() float64 {
+	// 1-U is in (0, 1], so the log is finite.
+	return -math.Log(1 - g.r.Float64())
+}
+
+// gamma draws Gamma(shape, 1) by Marsaglia-Tsang squeeze, with the
+// U^(1/k) boost for shape < 1.
+func (g *Gen) gamma() float64 {
+	for {
+		x := g.r.NormFloat64()
+		v := 1 + g.gc*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := g.r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return g.finishGamma(v)
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+g.gd*(1-v+math.Log(v)) {
+			return g.finishGamma(v)
+		}
+	}
+}
+
+func (g *Gen) finishGamma(v float64) float64 {
+	d := g.gd * v
+	if g.boost {
+		// Shape was augmented by one; undo with the U^(1/k) factor.
+		d *= math.Pow(g.r.Float64(), 1/g.shape)
+	}
+	return d
+}

@@ -60,6 +60,20 @@ const (
 	// the loss is resolved. Peer = destination, Arg = nodes lost
 	// (0 for control messages).
 	EvMsgDrop
+	// EvJobArrive: an open-system job arrives from a tenant (serving
+	// mode). Recorded on the job's placement rank. Peer = tenant index,
+	// Arg = job id.
+	EvJobArrive
+	// EvJobAdmit: the tenant's admission token bucket accepts the job
+	// and its root work is injected. Peer = tenant index, Arg = job id.
+	EvJobAdmit
+	// EvJobReject: the admission bucket (or the job cap) turns the job
+	// away; no work is injected. Peer = tenant index, Arg = job id.
+	EvJobReject
+	// EvJobDone: the last node of an admitted job is consumed anywhere
+	// in the system. Recorded on the job's placement rank at the
+	// completion instant. Peer = tenant index, Arg = job id.
+	EvJobDone
 
 	// NumEventKinds bounds the kind space for validation and tables.
 	NumEventKinds
@@ -82,6 +96,10 @@ var eventKindNames = [NumEventKinds]string{
 	EvStealRetry:   "steal-retry",
 	EvTokenRegen:   "token-regen",
 	EvMsgDrop:      "msg-drop",
+	EvJobArrive:    "job-arrive",
+	EvJobAdmit:     "job-admit",
+	EvJobReject:    "job-reject",
+	EvJobDone:      "job-done",
 }
 
 func (k EventKind) String() string {
